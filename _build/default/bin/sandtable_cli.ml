@@ -1,0 +1,210 @@
+(* The sandtable command-line interface.
+
+     dune exec bin/sandtable_cli.exe -- check pysyncobj --bugs PySyncObj#4
+     dune exec bin/sandtable_cli.exe -- conform wraft --bugs wraft6
+     dune exec bin/sandtable_cli.exe -- simulate zookeeper --walks 500
+     dune exec bin/sandtable_cli.exe -- rank pysyncobj
+     dune exec bin/sandtable_cli.exe -- bugs
+     dune exec bin/sandtable_cli.exe -- systems *)
+
+open Cmdliner
+open Sandtable
+module R = Systems.Registry
+module Bug = Systems.Bug
+
+let system_arg =
+  let doc = "Target system (see the systems command)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+
+let bugs_arg =
+  let doc =
+    "Bug ids (PySyncObj#4) or raw flags (pso4) to enable, repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "bugs"; "b" ] ~docv:"BUG" ~doc)
+
+let time_budget_arg =
+  let doc = "Wall-clock budget in seconds." in
+  Arg.(value & opt float 60. & info [ "time"; "t" ] ~docv:"SECONDS" ~doc)
+
+let nodes_arg =
+  let doc = "Override the node count of the default scenario." in
+  Arg.(value & opt (some int) None & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let resolve name = try Ok (R.find name) with Not_found ->
+  Error (`Msg (Fmt.str "unknown system %s (try: %s)" name
+                 (String.concat ", " R.names)))
+
+let scenario_of (sys : R.t) nodes =
+  match nodes with
+  | None -> sys.default_scenario
+  | Some n -> { sys.default_scenario with nodes = n }
+
+let with_system name bugs f =
+  match resolve name with
+  | Error (`Msg m) ->
+    Fmt.epr "%s@." m;
+    1
+  | Ok sys -> (
+    match R.flags_of sys bugs with
+    | exception Invalid_argument m ->
+      Fmt.epr "%s@." m;
+      1
+    | flags -> f sys flags)
+
+(* --- check: specification-level model checking ----------------------- *)
+
+let check_cmd =
+  let run name bugs time nodes =
+    with_system name bugs (fun sys flags ->
+        let scenario = scenario_of sys nodes in
+        Fmt.pr "model checking %s on %a@." sys.name Scenario.pp scenario;
+        let result =
+          Explorer.check (sys.spec flags) scenario
+            { Explorer.default with time_budget = Some time }
+        in
+        Fmt.pr "%a@." Explorer.pp_result result;
+        match result.outcome with
+        | Explorer.Violation v ->
+          Fmt.pr "@.confirming at the implementation level...@.";
+          let confirmation =
+            Replay.confirm ~mask:Systems.Common.conformance_mask
+              (sys.spec flags)
+              ~boot:(fun sc -> sys.sut flags None sc)
+              scenario v.events
+          in
+          Fmt.pr "%a@." Replay.pp_confirmation confirmation;
+          0
+        | _ -> 0)
+  in
+  let doc = "Model-check a system's specification (BFS) and confirm bugs." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg)
+
+(* --- simulate: random walks ------------------------------------------ *)
+
+let walks_arg =
+  Arg.(value & opt int 100 & info [ "walks" ] ~docv:"N" ~doc:"Walk count.")
+
+let simulate_cmd =
+  let run name bugs walks seed nodes =
+    with_system name bugs (fun sys flags ->
+        let scenario = scenario_of sys nodes in
+        let ws =
+          Simulate.walks (sys.spec flags) scenario
+            { Simulate.default with max_depth = 60 }
+            ~seed ~count:walks
+        in
+        Fmt.pr "%a@." Simulate.pp_aggregate (Simulate.aggregate ws);
+        0)
+  in
+  let doc = "Random-walk the specification (TLC simulation mode)." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ system_arg $ bugs_arg $ walks_arg $ seed_arg $ nodes_arg)
+
+(* --- conform: conformance checking ------------------------------------ *)
+
+let rounds_arg =
+  Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Walk rounds.")
+
+let conform_cmd =
+  let run name bugs rounds seed nodes =
+    with_system name bugs (fun sys flags ->
+        let scenario = scenario_of sys nodes in
+        (* the spec models the fixed protocol; flags select impl bugs *)
+        let report =
+          Conformance.run ~mask:Systems.Common.conformance_mask
+            (sys.spec Bug.Flags.empty)
+            ~boot:(fun sc -> sys.sut flags None sc)
+            scenario ~rounds ~seed
+        in
+        Fmt.pr "%a@." Conformance.pp_report report;
+        match report.discrepancy with Some _ -> 2 | None -> 0)
+  in
+  let doc =
+    "Conformance-check the fixed spec against a (possibly buggy) \
+     implementation."
+  in
+  Cmd.v (Cmd.info "conform" ~doc)
+    Term.(const run $ system_arg $ bugs_arg $ rounds_arg $ seed_arg $ nodes_arg)
+
+(* --- rank: Algorithm 1 ------------------------------------------------ *)
+
+let rank_cmd =
+  let run name seed =
+    with_system name [] (fun sys _ ->
+        let spec = sys.spec Bug.Flags.empty in
+        let configs =
+          [ { Rank.cname = "2 nodes"; nodes = 2; workload = [ 1; 2 ] };
+            { Rank.cname = "3 nodes"; nodes = 3; workload = [ 1; 2 ] } ]
+        in
+        let budgets =
+          [ [ "timeouts", 3; "requests", 2; "crashes", 0; "restarts", 0;
+              "partitions", 0; "buffer", 3 ];
+            [ "timeouts", 6; "requests", 3; "crashes", 1; "restarts", 1;
+              "partitions", 1; "buffer", 4 ];
+            [ "timeouts", 9; "requests", 4; "crashes", 2; "restarts", 2;
+              "partitions", 2; "buffer", 8 ] ]
+        in
+        let ranked =
+          Rank.rank spec ~configs ~budgets ~walks_per:80 ~walk_depth:40 ~seed
+        in
+        List.iter
+          (fun (config, data) ->
+            Fmt.pr "config %s:@." config.Rank.cname;
+            List.iteri
+              (fun i d -> Fmt.pr "  #%d %a@." (i + 1) Rank.pp_datum d)
+              data)
+          ranked;
+        0)
+  in
+  let doc = "Rank budget constraints per configuration (Algorithm 1)." in
+  Cmd.v (Cmd.info "rank" ~doc) Term.(const run $ system_arg $ seed_arg)
+
+(* --- bugs / systems listings ------------------------------------------ *)
+
+let bugs_cmd =
+  let run () =
+    List.iter
+      (fun (sys : R.t) ->
+        List.iter
+          (fun (b : Bug.info) ->
+            Fmt.pr "%-13s %-13s flags=%-16s %s@." b.id
+              (Bug.stage_to_string b.stage)
+              (String.concat "," b.flags)
+              b.consequence)
+          sys.bugs)
+      R.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"List the reproduced bug registry (paper Table 2).")
+    Term.(const run $ const ())
+
+let systems_cmd =
+  let run () =
+    List.iter
+      (fun (sys : R.t) ->
+        Fmt.pr "%-10s %s, %d bugs, default scenario: %a@." sys.name
+          (match sys.semantics with
+          | Sandtable.Spec_net.Tcp -> "TCP"
+          | Sandtable.Spec_net.Udp -> "UDP")
+          (List.length sys.bugs) Scenario.pp sys.default_scenario)
+      R.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "systems" ~doc:"List the integrated systems (paper Table 1).")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "specification-level model checking for distributed systems" in
+  let info = Cmd.info "sandtable" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; simulate_cmd; conform_cmd; rank_cmd; bugs_cmd;
+            systems_cmd ]))

@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Explorer Fmt List Option Sandtable Systems Workflow

@@ -1,0 +1,1 @@
+examples/conformance_drift.ml: Conformance Fmt Sandtable Systems

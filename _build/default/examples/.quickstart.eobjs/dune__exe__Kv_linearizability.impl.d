@@ -1,0 +1,1 @@
+examples/kv_linearizability.ml: Explorer Fmt Sandtable Systems Trace

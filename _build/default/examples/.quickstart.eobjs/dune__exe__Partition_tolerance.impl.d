@@ -1,0 +1,1 @@
+examples/partition_tolerance.ml: Fmt Replay Sandtable Script Systems Trace

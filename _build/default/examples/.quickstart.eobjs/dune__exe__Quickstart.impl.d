@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conformance Explorer Fmt Replay Sandtable Systems

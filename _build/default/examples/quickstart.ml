@@ -1,0 +1,38 @@
+(* Quickstart: the SandTable loop on one system in ~30 lines of client code.
+
+     dune exec examples/quickstart.exe
+
+   1. take a specification of the (buggy) PySyncObj implementation,
+   2. conformance-check it against the implementation (§3.2),
+   3. model-check it by stateful BFS (§3.3),
+   4. confirm the violation by deterministic replay at the implementation
+      level (§3.4). *)
+
+open Sandtable
+
+let () =
+  let bugs = Systems.Bug.flags [ "pso3" ] in
+  let spec = Systems.Pysyncobj.spec ~bugs () in
+  let scenario = Systems.Pysyncobj.default_scenario in
+  let boot sc = Systems.Pysyncobj.sut ~bugs sc in
+
+  Fmt.pr "1. conformance checking the spec against the implementation...@.";
+  let conf =
+    Conformance.run ~mask:Systems.Common.conformance_mask spec ~boot scenario
+      ~rounds:30 ~seed:1
+  in
+  Fmt.pr "   %a@.@." Conformance.pp_report conf;
+
+  Fmt.pr "2. model checking (BFS over the specification state space)...@.";
+  let result = Explorer.check spec scenario Explorer.default in
+  Fmt.pr "   %a@.@." Explorer.pp_result result;
+
+  match result.outcome with
+  | Explorer.Violation v ->
+    Fmt.pr "3. confirming the bug at the implementation level...@.";
+    let confirmation =
+      Replay.confirm ~mask:Systems.Common.conformance_mask spec ~boot scenario
+        v.events
+    in
+    Fmt.pr "   %a@." Replay.pp_confirmation confirmation
+  | _ -> Fmt.pr "no violation found@."

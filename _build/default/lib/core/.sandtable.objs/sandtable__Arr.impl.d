@@ -1,0 +1,1 @@
+lib/core/arr.ml: Array

@@ -1,0 +1,1 @@
+lib/core/conformance.ml: Fmt Fun List Option Random Simulate Tla Trace Unix

@@ -1,0 +1,1 @@
+lib/core/conformance.mli: Format Scenario Spec Tla Trace

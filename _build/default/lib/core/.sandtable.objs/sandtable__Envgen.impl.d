@@ -1,0 +1,1 @@
+lib/core/envgen.ml: Counters List Scenario Trace

@@ -1,0 +1,1 @@
+lib/core/envgen.mli: Counters Scenario Trace

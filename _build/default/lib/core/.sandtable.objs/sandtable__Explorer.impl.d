@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Fingerprint Fmt List Option Queue Scenario Spec Symmetry Trace Unix

@@ -1,0 +1,1 @@
+lib/core/fingerprint.ml: Char Digest Hashtbl Marshal String

@@ -1,0 +1,1 @@
+lib/core/linearize.ml: Fmt Int List Map Tla

@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Fingerprint Fmt List Option Queue Spec Tla Trace Unix

@@ -1,0 +1,1 @@
+lib/core/rank.ml: Coverage Float Fmt Int List Scenario Simulate

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Conformance Fmt Fun List Spec Tla

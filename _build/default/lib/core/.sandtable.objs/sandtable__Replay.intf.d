@@ -1,0 +1,1 @@
+lib/core/replay.mli: Conformance Format Scenario Spec Tla Trace

@@ -1,0 +1,1 @@
+lib/core/script.ml: Fmt List Spec String Trace

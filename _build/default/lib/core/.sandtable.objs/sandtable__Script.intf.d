@@ -1,0 +1,1 @@
+lib/core/script.mli: Format Scenario Spec Trace

@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Coverage Fmt List Option Random Set Spec String Tla Trace

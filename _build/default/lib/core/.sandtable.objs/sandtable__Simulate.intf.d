@@ -1,0 +1,1 @@
+lib/core/simulate.mli: Coverage Format Random Scenario Spec Tla Trace

@@ -1,0 +1,1 @@
+lib/core/spec_net.ml: Arr Array List Option Tla Trace

@@ -1,0 +1,1 @@
+lib/core/symmetry.ml: Array Fingerprint Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/workflow.ml: Conformance Explorer Fmt Option Replay Scenario Spec Tla

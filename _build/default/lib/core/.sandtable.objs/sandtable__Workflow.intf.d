@@ -1,0 +1,1 @@
+lib/core/workflow.mli: Conformance Explorer Format Replay Scenario Spec Tla

@@ -1,0 +1,26 @@
+let set a i v =
+  let a' = Array.copy a in
+  a'.(i) <- v;
+  a'
+
+let update a i f = set a i (f a.(i))
+let init = Array.init
+
+let existsi p a =
+  let n = Array.length a in
+  let rec loop i = i < n && (p i a.(i) || loop (i + 1)) in
+  loop 0
+
+let for_alli p a = not (existsi (fun i x -> not (p i x)) a)
+
+let foldi f acc a =
+  let acc = ref acc in
+  Array.iteri (fun i x -> acc := f !acc i x) a;
+  !acc
+
+let count p a = foldi (fun n _ x -> if p x then n + 1 else n) 0 a
+
+let permute p a =
+  let out = Array.copy a in
+  Array.iteri (fun i x -> out.(p.(i)) <- x) a;
+  out

@@ -1,0 +1,20 @@
+(** Copy-on-write helpers over arrays used as immutable per-node vectors.
+
+    Specification states index per-node variables by node id. Plain arrays
+    marshal and fingerprint cheaply; these helpers never mutate their input,
+    preserving the purity the explorer relies on. *)
+
+val set : 'a array -> int -> 'a -> 'a array
+(** [set a i v] is a copy of [a] with slot [i] replaced by [v]. *)
+
+val update : 'a array -> int -> ('a -> 'a) -> 'a array
+val init : int -> (int -> 'a) -> 'a array
+val existsi : (int -> 'a -> bool) -> 'a array -> bool
+val for_alli : (int -> 'a -> bool) -> 'a array -> bool
+val foldi : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a array -> 'acc
+
+val count : ('a -> bool) -> 'a array -> int
+(** Number of elements satisfying the predicate (quorum counting). *)
+
+val permute : int array -> 'a array -> 'a array
+(** [permute p a] reindexes by node permutation: result.(p.(i)) = a.(i). *)

@@ -1,0 +1,102 @@
+type sut = {
+  execute : Trace.event -> (unit, string) result;
+  observe : unit -> Tla.Value.t;
+}
+
+type failure =
+  | State_mismatch of Tla.Value.diff list
+  | Impl_error of string
+
+type discrepancy = {
+  round : int;
+  events : Trace.t;
+  failed_at : int;
+  failure : failure;
+}
+
+type report = {
+  rounds_run : int;
+  total_events : int;
+  discrepancy : discrepancy option;
+  duration : float;
+}
+
+let pp_failure ppf = function
+  | State_mismatch diffs ->
+    Fmt.pf ppf "state mismatch:@,%a"
+      (Fmt.list ~sep:Fmt.cut Tla.Value.pp_diff)
+      diffs
+  | Impl_error msg -> Fmt.pf ppf "implementation error: %s" msg
+
+let pp_discrepancy ppf d =
+  Fmt.pf ppf "@[<v>round %d, event %d (%a):@,%a@,trace:@,%a@]" d.round
+    (d.failed_at + 1)
+    Trace.pp_event
+    (List.nth d.events d.failed_at)
+    pp_failure d.failure Trace.pp d.events
+
+let pp_report ppf r =
+  match r.discrepancy with
+  | None ->
+    Fmt.pf ppf "conformance OK: %d rounds, %d events, %.2fs" r.rounds_run
+      r.total_events r.duration
+  | Some d ->
+    Fmt.pf ppf "@[<v>conformance FAILED after %d rounds (%.2fs):@,%a@]"
+      r.rounds_run r.duration pp_discrepancy d
+
+(* Replay one walk at the implementation level, comparing observations after
+   every event. *)
+let replay_walk ~mask ~boot scenario round (walk : Simulate.walk) =
+  let sut = boot scenario in
+  let rec step i events observations =
+    match events, observations with
+    | [], [] -> None
+    | event :: events', expected :: observations' -> (
+      match sut.execute event with
+      | Error msg ->
+        Some { round; events = walk.events; failed_at = i;
+               failure = Impl_error msg }
+      | Ok () ->
+        let actual = sut.observe () in
+        let diffs = Tla.Value.diff ~expected:(mask expected) ~actual in
+        if diffs <> [] then
+          Some { round; events = walk.events; failed_at = i;
+                 failure = State_mismatch diffs }
+        else step (i + 1) events' observations')
+    | _ ->
+      invalid_arg "Conformance: walk observations out of sync with events"
+  in
+  step 0 walk.events walk.observations
+
+let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget spec ~boot scenario
+    ~rounds ~seed =
+  let started = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> started +. b) time_budget in
+  let rng = Random.State.make [| seed |] in
+  let walk_opts =
+    { Simulate.max_depth = walk_depth;
+      record_observations = true;
+      stop_on_violation = false }
+  in
+  let rec loop round total_events =
+    let expired =
+      match deadline with
+      | Some t -> Unix.gettimeofday () > t
+      | None -> false
+    in
+    if round > rounds || expired then
+      { rounds_run = round - 1;
+        total_events;
+        discrepancy = None;
+        duration = Unix.gettimeofday () -. started }
+    else
+      let walk = Simulate.walk spec scenario walk_opts rng in
+      match replay_walk ~mask ~boot scenario round walk with
+      | Some d ->
+        { rounds_run = round;
+          total_events = total_events + d.failed_at + 1;
+          discrepancy = Some d;
+          duration = Unix.gettimeofday () -. started }
+      | None -> loop (round + 1) (total_events + walk.depth)
+  in
+  loop 1 0

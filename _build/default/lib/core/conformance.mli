@@ -1,0 +1,56 @@
+(** Conformance checking (paper §3.2).
+
+    Random specification-level walks are replayed against the implementation
+    by enforcing the same event interleaving; after every event the
+    specification state and the implementation state are compared, and any
+    discrepancy is reported with the inconsistent variables and the event
+    sequence that led to it. Rounds repeat until a discrepancy appears or
+    the time/round budget expires ("no discrepancy for 30 minutes" in the
+    paper's methodology). *)
+
+type sut = {
+  execute : Trace.event -> (unit, string) result;
+      (** run one event at the implementation level *)
+  observe : unit -> Tla.Value.t;
+      (** implementation state, same shape as the (masked) spec observation *)
+}
+(** A booted system under test: the implementation cluster behind the
+    deterministic execution engine. *)
+
+type failure =
+  | State_mismatch of Tla.Value.diff list
+      (** spec and impl disagree on observed variables *)
+  | Impl_error of string
+      (** the implementation crashed or refused an enabled event — a
+          by-product bug (§3.2) or a missing impl capability *)
+
+type discrepancy = {
+  round : int;  (** 1-based walk number *)
+  events : Trace.t;  (** the full walk *)
+  failed_at : int;  (** 0-based index of the offending event *)
+  failure : failure;
+}
+
+type report = {
+  rounds_run : int;
+  total_events : int;
+  discrepancy : discrepancy option;
+  duration : float;
+}
+
+val pp_discrepancy : Format.formatter -> discrepancy -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?mask:(Tla.Value.t -> Tla.Value.t) ->
+  ?walk_depth:int ->
+  ?time_budget:float ->
+  Spec.t ->
+  boot:(Scenario.t -> sut) ->
+  Scenario.t ->
+  rounds:int ->
+  seed:int ->
+  report
+(** [mask] projects the spec observation down to the variables the
+    implementation can expose (API- or log-observable ones); default is the
+    identity. Stops at the first discrepancy. *)

@@ -1,0 +1,44 @@
+type t = {
+  timeouts : int;
+  requests : int;
+  crashes : int;
+  restarts : int;
+  partitions : int;
+  drops : int;
+  dups : int;
+}
+
+let zero =
+  { timeouts = 0; requests = 0; crashes = 0; restarts = 0; partitions = 0;
+    drops = 0; dups = 0 }
+
+let bump t (e : Trace.event) =
+  match e with
+  | Timeout _ -> { t with timeouts = t.timeouts + 1 }
+  | Client _ -> { t with requests = t.requests + 1 }
+  | Crash _ -> { t with crashes = t.crashes + 1 }
+  | Restart _ -> { t with restarts = t.restarts + 1 }
+  | Partition _ -> { t with partitions = t.partitions + 1 }
+  | Drop _ -> { t with drops = t.drops + 1 }
+  | Duplicate _ -> { t with dups = t.dups + 1 }
+  | Deliver _ | Heal -> t
+
+let within t budget =
+  let ok key v =
+    match List.assoc_opt key budget with None -> true | Some bound -> v <= bound
+  in
+  ok "timeouts" t.timeouts && ok "requests" t.requests
+  && ok "crashes" t.crashes && ok "restarts" t.restarts
+  && ok "partitions" t.partitions && ok "drops" t.drops && ok "dups" t.dups
+
+let observe t =
+  Tla.Value.record
+    [ "n_timeout", Tla.Value.int t.timeouts;
+      "n_request", Tla.Value.int t.requests;
+      "n_crash", Tla.Value.int t.crashes;
+      "n_restart", Tla.Value.int t.restarts;
+      "n_partition", Tla.Value.int t.partitions;
+      "n_drop", Tla.Value.int t.drops;
+      "n_dup", Tla.Value.int t.dups ]
+
+let pp ppf t = Tla.Value.pp ppf (observe t)

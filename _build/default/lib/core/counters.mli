@@ -1,0 +1,25 @@
+(** Event counters carried inside specification states.
+
+    Mirrors the auxiliary [eventCounter] variable of the paper's ZAB
+    specification (Fig. 2): counts of bounded event classes, checked against
+    the scenario budget by the state constraint. *)
+
+type t = {
+  timeouts : int;
+  requests : int;
+  crashes : int;
+  restarts : int;
+  partitions : int;
+  drops : int;
+  dups : int;
+}
+
+val zero : t
+val bump : t -> Trace.event -> t
+(** Increment the counter class of the event ([Deliver]/[Heal] are free). *)
+
+val within : t -> Scenario.budget -> bool
+(** All counters within their (present) bounds. *)
+
+val observe : t -> Tla.Value.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+module Sset = Set.Make (String)
+
+type t = Sset.t
+
+let current : Sset.t ref option ref = ref None
+
+let hit branch =
+  match !current with
+  | None -> ()
+  | Some acc -> acc := Sset.add branch !acc
+
+let collect f =
+  let saved = !current in
+  let acc = ref Sset.empty in
+  current := Some acc;
+  Fun.protect ~finally:(fun () -> current := saved) (fun () ->
+      let result = f () in
+      result, !acc)
+
+let cardinal = Sset.cardinal
+let branches t = Sset.elements t
+let union = Sset.union
+let empty = Sset.empty

@@ -1,0 +1,25 @@
+(** Branch-coverage collection for the ranking heuristic (Algorithm 1).
+
+    Specification action code marks the branches it takes with {!hit}.
+    Collection is off by default and costs one ref read per mark; the ranker
+    and the simulator install a collector around a walk with {!collect}.
+
+    Not thread-safe (neither is TLC's simulation bookkeeping per worker). *)
+
+val hit : string -> unit
+(** [hit branch_id] records that [branch_id] was executed, when a collector
+    is installed; no-op otherwise. *)
+
+type t
+(** A set of covered branch identifiers. *)
+
+val collect : (unit -> 'a) -> 'a * t
+(** [collect f] runs [f] with a fresh collector installed (restoring any
+    previously installed one afterwards, even on exceptions). *)
+
+val cardinal : t -> int
+val branches : t -> string list
+(** Covered branch identifiers, sorted. *)
+
+val union : t -> t -> t
+val empty : t

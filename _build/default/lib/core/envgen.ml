@@ -1,0 +1,53 @@
+type 'st ops = {
+  counters : 'st -> Counters.t;
+  with_counters : 'st -> Counters.t -> 'st;
+  node_count : 'st -> int;
+  alive : 'st -> int -> bool;
+  fully_connected : 'st -> bool;
+  crash : 'st -> int -> 'st;
+  restart : 'st -> int -> 'st;
+  partition : 'st -> int list -> 'st;
+  heal : 'st -> 'st;
+}
+
+let proper_groups n =
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun g -> x :: g) s
+  in
+  subsets (List.init (n - 1) (fun i -> i + 1))
+  |> List.filter (fun g -> List.length g < n - 1 || n = 1)
+  |> List.map (fun g -> 0 :: g)
+
+let failure_events ops (scenario : Scenario.t) st =
+  let budget key ~default = Scenario.budget_get scenario.budget key ~default in
+  let counters = ops.counters st in
+  let n = ops.node_count st in
+  let out = ref [] in
+  let add event st' = out := (event, st') :: !out in
+  let bumped event = ops.with_counters st (Counters.bump counters event) in
+  if counters.crashes < budget "crashes" ~default:1 then
+    for node = 0 to n - 1 do
+      if ops.alive st node then
+        let event = Trace.Crash { node } in
+        add event (ops.crash (bumped event) node)
+    done;
+  if counters.restarts < budget "restarts" ~default:1 then
+    for node = 0 to n - 1 do
+      if not (ops.alive st node) then
+        let event = Trace.Restart { node } in
+        add event (ops.restart (bumped event) node)
+    done;
+  if
+    counters.partitions < budget "partitions" ~default:1
+    && ops.fully_connected st && n > 1
+  then
+    List.iter
+      (fun group ->
+        let event = Trace.Partition { group } in
+        add event (ops.partition (bumped event) group))
+      (proper_groups n);
+  if not (ops.fully_connected st) then add Trace.Heal (ops.heal st);
+  List.rev !out

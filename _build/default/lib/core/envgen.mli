@@ -1,0 +1,26 @@
+(** Shared enumeration of environment transitions (node and network
+    failures, §3.1 "Specifying environment actions").
+
+    Crash, restart, partition and heal events are identical across systems;
+    each specification plugs its state type in through a small record of
+    accessors and receives the budget-bounded event list. *)
+
+type 'st ops = {
+  counters : 'st -> Counters.t;
+  with_counters : 'st -> Counters.t -> 'st;
+  node_count : 'st -> int;
+  alive : 'st -> int -> bool;
+  fully_connected : 'st -> bool;
+  crash : 'st -> int -> 'st;
+  restart : 'st -> int -> 'st;
+  partition : 'st -> int list -> 'st;
+  heal : 'st -> 'st;
+}
+
+val proper_groups : int -> int list list
+(** Non-trivial partition groups containing node 0 — one canonical
+    representative per two-sided cut. *)
+
+val failure_events : 'st ops -> Scenario.t -> 'st -> (Trace.event * 'st) list
+(** All enabled crash/restart/partition/heal transitions within budget, with
+    event counters bumped. *)

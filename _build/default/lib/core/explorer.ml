@@ -1,0 +1,223 @@
+type options = {
+  symmetry : bool;
+  stop_on_violation : bool;
+  max_states : int option;
+  max_depth : int option;
+  time_budget : float option;
+  check_deadlock : bool;
+  only_invariants : string list option;
+  progress_every : int;
+  progress : (stats -> unit) option;
+}
+
+and stats = { distinct : int; generated : int; depth : int; elapsed : float }
+
+let default =
+  { symmetry = true;
+    stop_on_violation = true;
+    max_states = None;
+    max_depth = None;
+    time_budget = None;
+    check_deadlock = false;
+    only_invariants = None;
+    progress_every = 0;
+    progress = None }
+
+type violation = {
+  invariant : string;
+  events : Trace.t;
+  depth : int;
+  state_repr : string;
+}
+
+type outcome =
+  | Exhausted
+  | Violation of violation
+  | Budget_spent
+  | Deadlock of Trace.t
+
+type result = {
+  outcome : outcome;
+  distinct : int;
+  generated : int;
+  max_depth : int;
+  duration : float;
+}
+
+type provenance =
+  | Root of int  (* index into the init-state list *)
+  | Step of { parent : Fingerprint.t; event : Trace.event }
+
+exception Stop of outcome
+
+module Run (S : Spec.S) = struct
+  type entry = { prov : provenance; depth : int }
+
+  let fingerprint opts scenario state =
+    if opts.symmetry && S.permutable then
+      Symmetry.canonical_fp ~permute:S.permute ~nodes:scenario.Scenario.nodes
+        state
+    else Fingerprint.of_state state
+
+  (* Walk provenance back to a root, returning (init_index, events). *)
+  let trace_of visited fp =
+    let rec back fp acc =
+      match (Fingerprint.Tbl.find visited fp).prov with
+      | Root i -> i, acc
+      | Step { parent; event } -> back parent (event :: acc)
+    in
+    back fp []
+
+  (* Re-execute the recorded event chain concretely to recover the final
+     state for reporting. Every recorded event was generated from the stored
+     concrete chain, so replay cannot fail. *)
+  let final_state scenario init_index events =
+    let inits = S.init scenario in
+    let s0 = List.nth inits init_index in
+    List.fold_left
+      (fun state event ->
+        match
+          List.find_map
+            (fun (e, s') ->
+              if Trace.equal_event e event then Some s' else None)
+            (S.next scenario state)
+        with
+        | Some s' -> s'
+        | None -> invalid_arg "Explorer: unreplayable provenance chain")
+      s0 events
+
+  let violation_of visited scenario fp invariant depth =
+    let init_index, events = trace_of visited fp in
+    let state = final_state scenario init_index events in
+    { invariant; events; depth; state_repr = Fmt.str "%a" S.pp_state state }
+
+  let check scenario opts =
+    let started = Unix.gettimeofday () in
+    let visited : entry Fingerprint.Tbl.t = Fingerprint.Tbl.create 65536 in
+    let queue : (S.state * Fingerprint.t * int) Queue.t = Queue.create () in
+    let generated = ref 0 in
+    let max_depth_seen = ref 0 in
+    let deadline =
+      Option.map (fun budget -> started +. budget) opts.time_budget
+    in
+    let elapsed () = Unix.gettimeofday () -. started in
+    let selected_invariants =
+      match opts.only_invariants with
+      | None -> S.invariants
+      | Some names ->
+        List.filter (fun (name, _) -> List.mem name names) S.invariants
+    in
+    let check_invariants fp depth state =
+      List.iter
+        (fun (name, holds) ->
+          if not (holds scenario state) then begin
+            let v = violation_of visited scenario fp name depth in
+            if opts.stop_on_violation then raise (Stop (Violation v))
+          end)
+        selected_invariants
+    in
+    let over_budget depth =
+      (match opts.max_states with
+      | Some m -> Fingerprint.Tbl.length visited >= m
+      | None -> false)
+      || (match opts.max_depth with Some d -> depth > d | None -> false)
+      || match deadline with
+         | Some t -> Unix.gettimeofday () > t
+         | None -> false
+    in
+    let discover prov depth state =
+      let fp = fingerprint opts scenario state in
+      if not (Fingerprint.Tbl.mem visited fp) then begin
+        Fingerprint.Tbl.replace visited fp { prov; depth };
+        if depth > !max_depth_seen then max_depth_seen := depth;
+        check_invariants fp depth state;
+        if S.constraint_ok scenario state then Queue.add (state, fp, depth) queue;
+        let n = Fingerprint.Tbl.length visited in
+        if opts.progress_every > 0 && n mod opts.progress_every = 0 then
+          Option.iter
+            (fun f ->
+              f { distinct = n; generated = !generated; depth;
+                  elapsed = elapsed () })
+            opts.progress
+      end
+    in
+    let outcome =
+      try
+        List.iteri (fun i s -> discover (Root i) 0 s) (S.init scenario);
+        while not (Queue.is_empty queue) do
+          let state, fp, depth = Queue.pop queue in
+          if over_budget depth then raise (Stop Budget_spent);
+          let successors = S.next scenario state in
+          if successors = [] && opts.check_deadlock then begin
+            let init_index, events = trace_of visited fp in
+            ignore init_index;
+            raise (Stop (Deadlock events))
+          end;
+          List.iter
+            (fun (event, state') ->
+              incr generated;
+              discover (Step { parent = fp; event }) (depth + 1) state')
+            successors
+        done;
+        Exhausted
+      with Stop o -> o
+    in
+    { outcome;
+      distinct = Fingerprint.Tbl.length visited;
+      generated = !generated;
+      max_depth = !max_depth_seen;
+      duration = elapsed () }
+end
+
+let check (module S : Spec.S) scenario opts =
+  let module R = Run (S) in
+  R.check scenario opts
+
+let pp_outcome ppf = function
+  | Exhausted -> Fmt.string ppf "state space exhausted"
+  | Budget_spent -> Fmt.string ppf "budget spent"
+  | Deadlock t -> Fmt.pf ppf "deadlock after:@.%a" Trace.pp t
+  | Violation v ->
+    Fmt.pf ppf "invariant %s violated at depth %d:@.%a@.final state: %s"
+      v.invariant v.depth Trace.pp v.events v.state_repr
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>%a@,distinct=%d generated=%d max_depth=%d duration=%.2fs@]"
+    pp_outcome r.outcome r.distinct r.generated r.max_depth r.duration
+
+type stateless_result = {
+  sl_executions : int;
+  sl_states_visited : int;
+  sl_distinct : int;
+  sl_duration : float;
+}
+
+let stateless_dfs (module S : Spec.S) scenario ~max_depth ?max_visits () =
+  let started = Unix.gettimeofday () in
+  let seen : unit Fingerprint.Tbl.t = Fingerprint.Tbl.create 4096 in
+  let visits = ref 0 in
+  let executions = ref 0 in
+  let budget_left () =
+    match max_visits with Some m -> !visits < m | None -> true
+  in
+  let exception Done in
+  let visit state =
+    incr visits;
+    let fp = Fingerprint.of_state state in
+    if not (Fingerprint.Tbl.mem seen fp) then
+      Fingerprint.Tbl.replace seen fp ();
+    if not (budget_left ()) then raise Done
+  in
+  let rec dfs depth state =
+    visit state;
+    if depth >= max_depth then incr executions
+    else
+      match S.next scenario state with
+      | [] -> incr executions
+      | successors -> List.iter (fun (_, s') -> dfs (depth + 1) s') successors
+  in
+  (try List.iter (fun s -> dfs 0 s) (S.init scenario) with Done -> ());
+  { sl_executions = !executions;
+    sl_states_visited = !visits;
+    sl_distinct = Fingerprint.Tbl.length seen;
+    sl_duration = Unix.gettimeofday () -. started }

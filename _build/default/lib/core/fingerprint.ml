@@ -1,0 +1,18 @@
+type t = string
+
+let of_state state = Digest.string (Marshal.to_string state [])
+let to_hex = Digest.to_hex
+let equal = String.equal
+let compare = String.compare
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = String.equal
+
+  (* Fingerprints are uniformly random bytes: the first word is already a
+     good hash. *)
+  let hash fp = Char.code fp.[0] lor (Char.code fp.[1] lsl 8)
+    lor (Char.code fp.[2] lsl 16) lor (Char.code fp.[3] lsl 24)
+    lor ((Char.code fp.[4] land 0x3f) lsl 32)
+end)

@@ -1,0 +1,15 @@
+(** State fingerprints for stateful exploration.
+
+    A fingerprint is a 128-bit digest of the marshalled state value. States
+    must be pure data (no closures, no mutation after hashing). Collision
+    probability at 10{^9} states is ~10{^-20}, comfortably below TLC's own
+    64-bit fingerprint guarantees. *)
+
+type t = string  (** 16 raw bytes *)
+
+val of_state : 'a -> t
+val to_hex : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,28 @@
+(** Linearizability checking for key-value histories (Xraft-KV oracle,
+    paper §4.2: "linearizability for Xraft-KV").
+
+    A history is a set of completed operations with logical invocation and
+    response times. The checker searches for a linearization: a total order
+    consistent with real-time precedence under which every [Get] returns the
+    value of the latest preceding [Put] ([None] when the key was never
+    written). Pending writes (invoked, never completed) may take effect at
+    any point or not at all. *)
+
+type op = Put of { key : int; value : int } | Get of { key : int }
+
+type entry = {
+  op : op;
+  invoked : int;  (** logical invocation time *)
+  responded : int;  (** logical response time, > invoked *)
+  result : int option;  (** [Get] outcome; [None] = key absent; ignored for [Put] *)
+}
+
+val pp_op : Format.formatter -> op -> unit
+val pp_entry : Format.formatter -> entry -> unit
+
+val check : ?pending:op list -> entry list -> bool
+(** [check ~pending history] — is the history linearizable? Exponential in
+    history size; intended for the short histories bounded model checking
+    produces (≤ ~8 operations). *)
+
+val observe_entry : entry -> Tla.Value.t

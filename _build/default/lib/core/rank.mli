@@ -1,0 +1,34 @@
+(** Constraint ranking (paper §3.3, Algorithm 1).
+
+    For each configuration, every candidate budget is evaluated by random
+    walks; budgets are then sorted by the built-in heuristic — branch
+    coverage decreasing, event diversity decreasing, depth increasing — or a
+    user-installed ordering. *)
+
+type config = { cname : string; nodes : int; workload : int list }
+
+type datum = {
+  budget : Scenario.budget;
+  coverage : int;  (** branches covered across the walks *)
+  diversity : int;  (** distinct event kinds observed *)
+  mean_depth : float;
+  max_depth : int;
+  violations : int;
+}
+
+val default_compare : datum -> datum -> int
+(** The built-in sorting function (best first). *)
+
+val rank :
+  ?compare:(datum -> datum -> int) ->
+  Spec.t ->
+  configs:config list ->
+  budgets:Scenario.budget list ->
+  walks_per:int ->
+  walk_depth:int ->
+  seed:int ->
+  (config * datum list) list
+(** [rank spec ~configs ~budgets ...] implements Algorithm 1: the returned
+    datum lists are sorted best-first per configuration. *)
+
+val pp_datum : Format.formatter -> datum -> unit

@@ -1,0 +1,28 @@
+(** Bug confirmation by deterministic implementation-level replay (§3.4).
+
+    A violating trace found by specification-level model checking is
+    replayed at the implementation level with state comparison after every
+    event. If the replay completes without discrepancy, the bug exists in
+    the implementation; otherwise the spec/impl discrepancy that caused the
+    false alarm is reported so the developer can fix the specification and
+    restart the workflow. *)
+
+type confirmation =
+  | Confirmed of { events : int }
+      (** the implementation followed the violating trace to the end *)
+  | False_alarm of Conformance.discrepancy
+      (** spec/impl discrepancy at some event: fix the spec, rerun *)
+
+val pp_confirmation : Format.formatter -> confirmation -> unit
+
+val confirm :
+  ?mask:(Tla.Value.t -> Tla.Value.t) ->
+  Spec.t ->
+  boot:(Scenario.t -> Conformance.sut) ->
+  Scenario.t ->
+  Trace.t ->
+  confirmation
+(** [confirm spec ~boot scenario events] — [events] is typically
+    [violation.events] from {!Explorer.check}. Raises [Invalid_argument] if
+    the trace is not replayable on the {e specification} (it must have come
+    from this spec and scenario). *)

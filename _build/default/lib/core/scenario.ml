@@ -1,0 +1,21 @@
+type budget = (string * int) list
+
+let budget_get b key ~default =
+  match List.assoc_opt key b with Some v -> v | None -> default
+
+let double b = List.map (fun (k, v) -> k, v * 2) b
+
+let pp_budget ppf b =
+  let pp_bound ppf (k, v) = Fmt.pf ppf "%s=%d" k v in
+  Fmt.(list ~sep:(any " ") pp_bound) ppf b
+
+type t = { name : string; nodes : int; workload : int list; budget : budget }
+
+let v ?(name = "scenario") ~nodes ~workload budget =
+  if nodes <= 0 then invalid_arg "Scenario.v: nodes must be positive";
+  { name; nodes; workload; budget }
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d nodes, workload {%a}, %a" t.name t.nodes
+    Fmt.(list ~sep:(any ",") int)
+    t.workload pp_budget t.budget

@@ -1,0 +1,27 @@
+(** Model-checking scenarios: configuration × budget constraints (§3.3).
+
+    A {e configuration} fixes the cluster shape (node count, workload values)
+    used to instantiate a specification; a {e budget} bounds the state space
+    (maximum numbers of timeouts, failures, client requests, message-buffer
+    sizes). SandTable ranks budgets per configuration with Algorithm 1. *)
+
+type budget = (string * int) list
+(** Named bounds. Standard keys used across the bundled systems:
+    ["timeouts"], ["requests"], ["crashes"], ["restarts"], ["partitions"],
+    ["buffer"] (max per-link message queue length), ["drops"], ["dups"],
+    ["epochs"]. Missing keys mean unbounded. *)
+
+val budget_get : budget -> string -> default:int -> int
+
+val double : budget -> budget
+(** Double every bound except ["buffer"]-independent identity keys — used by
+    Table 3 experiment #2 ("doubled the constraints"). *)
+
+val pp_budget : Format.formatter -> budget -> unit
+
+type t = { name : string; nodes : int; workload : int list; budget : budget }
+(** [workload] lists the distinct client values available (symmetry-reduced
+    workload values, §3.3: "two workload values"). *)
+
+val v : ?name:string -> nodes:int -> workload:int list -> budget -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+module type S = sig
+  type state
+
+  val name : string
+  val init : Scenario.t -> state list
+  val next : Scenario.t -> state -> (Trace.event * state) list
+  val constraint_ok : Scenario.t -> state -> bool
+  val invariants : (string * (Scenario.t -> state -> bool)) list
+  val observe : state -> Tla.Value.t
+  val permutable : bool
+  val permute : int array -> state -> state
+  val pp_state : Format.formatter -> state -> unit
+end
+
+type t = (module S)
+
+let name (module M : S) = M.name
+
+let observations_along (module M : S) scenario events =
+  match M.init scenario with
+  | [] -> None
+  | s0 :: _ ->
+    let step state event =
+      List.find_map
+        (fun (e, s') -> if Trace.equal_event e event then Some s' else None)
+        (M.next scenario state)
+    in
+    let rec loop state acc = function
+      | [] -> Some (List.rev acc)
+      | e :: rest -> (
+        match step state e with
+        | None -> None
+        | Some s' -> loop s' (M.observe s' :: acc) rest)
+    in
+    loop s0 [] events

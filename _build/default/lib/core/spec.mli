@@ -1,0 +1,49 @@
+(** Specifications as state machines (paper §3.1).
+
+    A specification defines initial states, enabled transitions labelled with
+    node-level events, safety invariants used as bug oracles, and a state
+    constraint bounding exploration. It must expose its observable variables
+    as a {!Tla.Value.t} record for conformance checking, and a node-id
+    permutation for symmetry reduction. *)
+
+module type S = sig
+  type state
+
+  val name : string
+
+  val init : Scenario.t -> state list
+  (** All initial states for the given configuration. *)
+
+  val next : Scenario.t -> state -> (Trace.event * state) list
+  (** All enabled transitions from [state]. Events must uniquely identify
+      their transition (deterministic replay requirement, §3.4). *)
+
+  val constraint_ok : Scenario.t -> state -> bool
+  (** TLC-style [StateConstraint]: states violating it are recorded but not
+      expanded. *)
+
+  val invariants : (string * (Scenario.t -> state -> bool)) list
+  (** Named safety properties; a [false] result is a violation. *)
+
+  val observe : state -> Tla.Value.t
+  (** Observable variables compared during conformance checking. *)
+
+  val permutable : bool
+  (** Whether node-id permutation preserves the transition relation (it does
+      for all bundled systems; set [false] for asymmetric deployments). *)
+
+  val permute : int array -> state -> state
+  (** [permute p s] renames node [i] to [p.(i)] everywhere in [s]. *)
+
+  val pp_state : Format.formatter -> state -> unit
+end
+
+type t = (module S)
+
+val name : t -> string
+
+val observations_along : t -> Scenario.t -> Trace.t -> Tla.Value.t list option
+(** [observations_along spec scenario events] replays [events] from the
+    (first) initial state and returns the observation after every event
+    (length = length of [events]); [None] if some event is not enabled where
+    the trace demands it. *)

@@ -1,0 +1,36 @@
+let permutations n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
+  in
+  let all = perms (List.init n Fun.id) in
+  let arrays = List.map Array.of_list all in
+  let identity = Array.init n Fun.id in
+  identity :: List.filter (fun p -> p <> identity) arrays
+
+(* Cache permutation lists: canonical_fp is the BFS hot path. *)
+let perm_cache : (int, int array list) Hashtbl.t = Hashtbl.create 8
+
+let cached_permutations n =
+  match Hashtbl.find_opt perm_cache n with
+  | Some ps -> ps
+  | None ->
+    let ps = permutations n in
+    Hashtbl.add perm_cache n ps;
+    ps
+
+let canonical_fp ~permute ~nodes state =
+  let best = ref (Fingerprint.of_state state) in
+  let try_perm p =
+    let fp = Fingerprint.of_state (permute p state) in
+    if Fingerprint.compare fp !best < 0 then best := fp
+  in
+  (match cached_permutations nodes with
+  | [] -> ()
+  | _identity :: rest -> List.iter try_perm rest);
+  !best

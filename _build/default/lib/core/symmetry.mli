@@ -1,0 +1,10 @@
+(** Symmetry reduction (paper §3.3): permuting node identities does not
+    change whether an action satisfies an invariant, so states equal up to a
+    node permutation collapse into one canonical representative. *)
+
+val permutations : int -> int array list
+(** All permutations of [0 .. n-1]; the identity comes first. *)
+
+val canonical_fp :
+  permute:(int array -> 's -> 's) -> nodes:int -> 's -> Fingerprint.t
+(** Minimal fingerprint over all node permutations of the state. *)

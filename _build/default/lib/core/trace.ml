@@ -1,0 +1,137 @@
+type node = int
+
+let node_name n = "n" ^ string_of_int (n + 1)
+
+type event =
+  | Deliver of { src : node; dst : node; index : int; desc : string }
+  | Timeout of { node : node; kind : string }
+  | Client of { node : node; op : string }
+  | Crash of { node : node }
+  | Restart of { node : node }
+  | Partition of { group : node list }
+  | Heal
+  | Drop of { src : node; dst : node; index : int }
+  | Duplicate of { src : node; dst : node; index : int }
+
+let equal_event a b =
+  match a, b with
+  | Deliver x, Deliver y -> x.src = y.src && x.dst = y.dst && x.index = y.index
+  | Timeout x, Timeout y -> x.node = y.node && String.equal x.kind y.kind
+  | Client x, Client y -> x.node = y.node && String.equal x.op y.op
+  | Crash x, Crash y -> x.node = y.node
+  | Restart x, Restart y -> x.node = y.node
+  | Partition x, Partition y -> x.group = y.group
+  | Heal, Heal -> true
+  | Drop x, Drop y -> x.src = y.src && x.dst = y.dst && x.index = y.index
+  | Duplicate x, Duplicate y ->
+    x.src = y.src && x.dst = y.dst && x.index = y.index
+  | ( ( Deliver _ | Timeout _ | Client _ | Crash _ | Restart _ | Partition _
+      | Heal | Drop _ | Duplicate _ ),
+      _ ) ->
+    false
+
+let kind = function
+  | Deliver _ -> "deliver"
+  | Timeout _ -> "timeout"
+  | Client _ -> "client"
+  | Crash _ -> "crash"
+  | Restart _ -> "restart"
+  | Partition _ -> "partition"
+  | Heal -> "heal"
+  | Drop _ -> "drop"
+  | Duplicate _ -> "duplicate"
+
+let pp_nodes ppf nodes =
+  Fmt.(list ~sep:(any ",") string) ppf (List.map node_name nodes)
+
+let pp_event ppf = function
+  | Deliver { src; dst; index; desc } ->
+    Fmt.pf ppf "Deliver %s->%s [%d] %s" (node_name src) (node_name dst) index desc
+  | Timeout { node; kind } -> Fmt.pf ppf "Timeout %s %s" (node_name node) kind
+  | Client { node; op } -> Fmt.pf ppf "Client %s %s" (node_name node) op
+  | Crash { node } -> Fmt.pf ppf "Crash %s" (node_name node)
+  | Restart { node } -> Fmt.pf ppf "Restart %s" (node_name node)
+  | Partition { group } -> Fmt.pf ppf "Partition {%a}" pp_nodes group
+  | Heal -> Fmt.string ppf "Heal"
+  | Drop { src; dst; index } ->
+    Fmt.pf ppf "Drop %s->%s [%d]" (node_name src) (node_name dst) index
+  | Duplicate { src; dst; index } ->
+    Fmt.pf ppf "Duplicate %s->%s [%d]" (node_name src) (node_name dst) index
+
+type t = event list
+
+let serialize_event = function
+  | Deliver { src; dst; index; desc } ->
+    Fmt.str "deliver %d %d %d %s" src dst index desc
+  | Timeout { node; kind } -> Fmt.str "timeout %d %s" node kind
+  | Client { node; op } -> Fmt.str "client %d %s" node op
+  | Crash { node } -> Fmt.str "crash %d" node
+  | Restart { node } -> Fmt.str "restart %d" node
+  | Partition { group } ->
+    Fmt.str "partition %s" (String.concat "," (List.map string_of_int group))
+  | Heal -> "heal"
+  | Drop { src; dst; index } -> Fmt.str "drop %d %d %d" src dst index
+  | Duplicate { src; dst; index } -> Fmt.str "duplicate %d %d %d" src dst index
+
+let parse_event line =
+  let int_of s = int_of_string_opt s in
+  let fail () = Error line in
+  match String.split_on_char ' ' line with
+  | "deliver" :: s :: d :: i :: desc -> (
+    match int_of s, int_of d, int_of i with
+    | Some src, Some dst, Some index ->
+      Ok (Deliver { src; dst; index; desc = String.concat " " desc })
+    | _ -> fail ())
+  | [ "timeout"; n; kind ] -> (
+    match int_of n with Some node -> Ok (Timeout { node; kind }) | None -> fail ())
+  | "client" :: n :: op -> (
+    match int_of n with
+    | Some node -> Ok (Client { node; op = String.concat " " op })
+    | None -> fail ())
+  | [ "crash"; n ] -> (
+    match int_of n with Some node -> Ok (Crash { node }) | None -> fail ())
+  | [ "restart"; n ] -> (
+    match int_of n with Some node -> Ok (Restart { node }) | None -> fail ())
+  | [ "partition"; g ] -> (
+    let parts = String.split_on_char ',' g |> List.map int_of in
+    if List.for_all Option.is_some parts then
+      Ok (Partition { group = List.map Option.get parts })
+    else fail ())
+  | [ "heal" ] -> Ok Heal
+  | [ "drop"; s; d; i ] -> (
+    match int_of s, int_of d, int_of i with
+    | Some src, Some dst, Some index -> Ok (Drop { src; dst; index })
+    | _ -> fail ())
+  | [ "duplicate"; s; d; i ] -> (
+    match int_of s, int_of d, int_of i with
+    | Some src, Some dst, Some index -> Ok (Duplicate { src; dst; index })
+    | _ -> fail ())
+  | _ -> fail ()
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun e -> output_string oc (serialize_event e ^ "\n")) trace)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> read acc
+        | line -> (
+          match parse_event line with
+          | Ok e -> read (e :: acc)
+          | Error _ as e -> e)
+      in
+      read [])
+
+let pp ppf trace =
+  List.iteri (fun i e -> Fmt.pf ppf "%3d. %a@." (i + 1) pp_event e) trace
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,51 @@
+(** The end-to-end SandTable workflow (paper Fig. 1):
+    conformance checking → model checking → bug replay → fix validation. *)
+
+type bundle = {
+  bname : string;
+  spec : Spec.t;
+  boot : Scenario.t -> Conformance.sut;
+  mask : Tla.Value.t -> Tla.Value.t;
+      (** projects spec observations to impl-observable variables *)
+  scenario : Scenario.t;
+}
+(** One system wired for checking: its specification, a way to boot the
+    implementation behind the deterministic execution engine, and the
+    model-checking scenario (configuration + ranked budget constraint). *)
+
+type outcome = {
+  conformance : Conformance.report;
+  check : Explorer.result option;
+      (** [None] when conformance failed: fix the spec first *)
+  confirmation : Replay.confirmation option;
+      (** [Some] iff model checking found a violation *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run :
+  ?conf_rounds:int ->
+  ?conf_walk_depth:int ->
+  ?seed:int ->
+  ?check_opts:Explorer.options ->
+  bundle ->
+  outcome
+
+type fix_validation = {
+  fixed_conformance : Conformance.report;
+      (** no new discrepancies introduced by the fix (§3.4) *)
+  fixed_check : Explorer.result;
+      (** the original violation must be gone and no new one introduced *)
+}
+
+val validate_fix :
+  ?conf_rounds:int ->
+  ?conf_walk_depth:int ->
+  ?seed:int ->
+  ?check_opts:Explorer.options ->
+  bundle ->
+  fix_validation
+(** [validate_fix fixed] reruns conformance and model checking on the fixed
+    spec/implementation pair. *)
+
+val fix_ok : fix_validation -> bool

@@ -1,0 +1,1 @@
+lib/engine/cluster.ml: Array Cost Fmt Hashtbl List Log_parser Printexc Proxy Sandtable Syscall Unix Vclock

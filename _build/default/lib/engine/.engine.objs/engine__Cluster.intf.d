@@ -1,0 +1,1 @@
+lib/engine/cluster.mli: Cost Format Log_parser Sandtable Syscall Tla

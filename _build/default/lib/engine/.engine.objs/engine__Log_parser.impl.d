@@ -1,0 +1,1 @@
+lib/engine/log_parser.ml: Hashtbl List Option String

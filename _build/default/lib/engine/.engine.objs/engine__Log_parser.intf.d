@@ -1,0 +1,1 @@
+lib/engine/log_parser.mli:

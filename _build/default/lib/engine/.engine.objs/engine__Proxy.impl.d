@@ -1,0 +1,1 @@
+lib/engine/proxy.ml: Array List Option Sandtable Tla Wire

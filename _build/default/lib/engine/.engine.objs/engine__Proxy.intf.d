@@ -1,0 +1,1 @@
+lib/engine/proxy.mli: Sandtable Tla

@@ -1,0 +1,1 @@
+lib/engine/wire.ml: Bytes Int32

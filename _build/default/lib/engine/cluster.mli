@@ -1,0 +1,54 @@
+(** The implementation-level deterministic execution engine (paper §4.1,
+    Fig. 5, §A.5).
+
+    Runs a cluster of implementation nodes against the syscall interposition
+    surface, executing node, network and state commands converted from
+    specification trace events: message delivery, timeout firing (virtual
+    clock advancement), client requests, crash/restart, partitions and UDP
+    packet faults. Implementation exceptions are captured and reported as
+    implementation bugs rather than aborting the checker. *)
+
+type config = {
+  nodes : int;
+  semantics : Sandtable.Spec_net.semantics;
+  timeouts : (string * int) list;
+      (** user-provided timeout durations (ms) per timeout kind (§3.2) *)
+  cost : Cost.profile;
+  boot : Syscall.boot;
+}
+
+type node_status =
+  | Running
+  | Crashed  (** engine-injected crash *)
+  | Faulted of string  (** implementation raised: a by-product bug (§3.2) *)
+
+type t
+
+val create : config -> t
+(** Boot all nodes; charges the cluster-initialization cost. *)
+
+type error =
+  | Not_enabled of string
+      (** the event cannot be executed here (e.g. empty message queue):
+          a conformance discrepancy when the spec considered it enabled *)
+  | Impl_crash of { node : int; exn_ : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val execute : t -> Sandtable.Trace.event -> (unit, error) result
+
+val run_trace : t -> Sandtable.Trace.t -> (unit, error * int) result
+(** Execute a full trace; on error returns the 0-based index of the failing
+    event. *)
+
+val observe_node : t -> int -> Tla.Value.t option
+(** API-based observation; [None] when the node is down or faulted. *)
+
+val observe_net : t -> Tla.Value.t
+val log_parser : t -> int -> Log_parser.t
+val status : t -> int -> node_status
+val allocated_bytes : t -> int -> int
+(** Outstanding allocation accounting for leak detection. *)
+
+val cost : t -> Cost.t
+val config : t -> config

@@ -1,0 +1,38 @@
+type profile = {
+  init_ms : float;
+  per_event_ms : float;
+  async_sleep_ms : float;
+  crash_restart_ms : float;
+}
+
+let profile ?(init_ms = 300.) ?(per_event_ms = 30.) ?(async_sleep_ms = 0.)
+    ?(crash_restart_ms = 100.) () =
+  { init_ms; per_event_ms; async_sleep_ms; crash_restart_ms }
+
+type t = {
+  p : profile;
+  mutable virtual_ms : float;
+  mutable real_s : float;
+}
+
+let create p = { p; virtual_ms = 0.; real_s = 0. }
+let start_trace t = t.virtual_ms <- t.virtual_ms +. t.p.init_ms
+
+let charge_event t (e : Sandtable.Trace.event) =
+  let extra =
+    match e with
+    | Restart _ -> t.p.crash_restart_ms
+    | Deliver _ | Timeout _ | Client _ | Crash _ | Partition _ | Heal
+    | Drop _ | Duplicate _ ->
+      0.
+  in
+  t.virtual_ms <- t.virtual_ms +. t.p.per_event_ms +. t.p.async_sleep_ms +. extra
+
+let virtual_ms t = t.virtual_ms
+let real_add t s = t.real_s <- t.real_s +. s
+let real_s t = t.real_s
+let total_ms t = t.virtual_ms +. (t.real_s *. 1000.)
+
+let reset t =
+  t.virtual_ms <- 0.;
+  t.real_s <- 0.

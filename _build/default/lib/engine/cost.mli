@@ -1,0 +1,46 @@
+(** Virtual-time cost accounting for implementation-level exploration.
+
+    The paper's implementation-level trace replay cost is dominated by
+    cluster initialization sleeps, per-event enforcement waits, and
+    synchronization sleeps of sleep-reliant systems (§5.3). We execute the
+    OCaml re-implementations for real and account those sleep/wait
+    components in virtual milliseconds using a per-system profile, so the
+    speedup comparison of Table 4 preserves its shape without the benchmark
+    actually sleeping.
+
+    See DESIGN.md "Substitutions" for the rationale. *)
+
+type profile = {
+  init_ms : float;  (** cluster initialization / reset before each trace *)
+  per_event_ms : float;  (** model-checker enforcement wait per event *)
+  async_sleep_ms : float;
+      (** extra sleep per event for systems that synchronize actions by
+          sleeping (RaftOS, Xraft, ZooKeeper) *)
+  crash_restart_ms : float;  (** node restart cost *)
+}
+
+val profile :
+  ?init_ms:float -> ?per_event_ms:float -> ?async_sleep_ms:float ->
+  ?crash_restart_ms:float -> unit -> profile
+
+type t
+
+val create : profile -> t
+
+val start_trace : t -> unit
+(** Charge [init_ms]. *)
+
+val charge_event : t -> Sandtable.Trace.event -> unit
+
+val virtual_ms : t -> float
+(** Accumulated virtual cost. *)
+
+val real_add : t -> float -> unit
+(** Add measured real execution seconds. *)
+
+val real_s : t -> float
+
+val total_ms : t -> float
+(** Virtual plus real, in milliseconds. *)
+
+val reset : t -> unit

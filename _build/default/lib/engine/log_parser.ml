@@ -1,0 +1,42 @@
+type t = {
+  values : (string, string) Hashtbl.t;
+  mutable raw : string list;  (* newest first *)
+}
+
+let create () = { values = Hashtbl.create 16; raw = [] }
+
+let state_prefix = "STATE "
+
+(* Parse "key=value" tokens of a STATE line. Values run to the next space;
+   keys are [A-Za-z0-9_.]+. *)
+let parse_tokens t rest =
+  String.split_on_char ' ' rest
+  |> List.iter (fun token ->
+         match String.index_opt token '=' with
+         | None -> ()
+         | Some i ->
+           let key = String.sub token 0 i in
+           let value = String.sub token (i + 1) (String.length token - i - 1) in
+           if key <> "" then Hashtbl.replace t.values key value)
+
+let feed t line =
+  t.raw <- line :: t.raw;
+  if String.length line > String.length state_prefix
+     && String.sub line 0 (String.length state_prefix) = state_prefix
+  then
+    parse_tokens t
+      (String.sub line (String.length state_prefix)
+         (String.length line - String.length state_prefix))
+
+let lookup t key = Hashtbl.find_opt t.values key
+let lookup_int t key = Option.bind (lookup t key) int_of_string_opt
+
+let observed t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.values []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let lines t = List.rev t.raw
+
+let clear t =
+  Hashtbl.reset t.values;
+  t.raw <- []

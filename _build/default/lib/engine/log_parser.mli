@@ -1,0 +1,28 @@
+(** State observation via log parsing (paper §A.1 "States observation",
+    §A.4).
+
+    When a system exposes no API for its internal state, the interceptor
+    captures its logging output and extracts critical variables with
+    patterns. Implementations in this repo log lines such as
+    ["STATE role=LEADING term=3 commit=2"]; the parser keeps the latest
+    value per key. *)
+
+type t
+
+val create : unit -> t
+val feed : t -> string -> unit
+(** Feed one log line; non-STATE lines are retained for debugging only. *)
+
+val lookup : t -> string -> string option
+(** Latest value logged for a key. *)
+
+val lookup_int : t -> string -> int option
+
+val observed : t -> (string * string) list
+(** All latest key/value pairs, sorted by key. *)
+
+val lines : t -> string list
+(** Raw log, oldest first. *)
+
+val clear : t -> unit
+(** Forget everything (node crash loses volatile log state). *)

@@ -1,0 +1,35 @@
+(** Transparent network proxy (paper §A.2).
+
+    The engine-side analogue of the TPROXY mechanism: all cluster traffic is
+    buffered here, and the engine exercises full control over delivery order
+    and failures. TCP links hold an ordered frame queue with only the head
+    deliverable and partition as the sole failure; UDP links additionally
+    support selective drop, duplication and out-of-order delivery. *)
+
+type t
+
+val create : nodes:int -> Sandtable.Spec_net.semantics -> t
+val nodes : t -> int
+val connected : t -> int -> int -> bool
+
+val send : t -> src:int -> dst:int -> bytes -> bool
+(** Enqueue a frame; [false] when the link is down (TCP senders observe
+    this; UDP packets vanish silently). *)
+
+val deliver : t -> src:int -> dst:int -> index:int -> bytes option
+(** Dequeue frame [index] (TCP: must be 0), returning its payload. *)
+
+val drop : t -> src:int -> dst:int -> index:int -> bool
+val duplicate : t -> src:int -> dst:int -> index:int -> bool
+val queue_len : t -> src:int -> dst:int -> int
+val total_in_flight : t -> int
+
+val partition : t -> group:int list -> unit
+val heal : t -> unit
+val disconnect_node : t -> int -> unit
+val reconnect_node : t -> int -> unit
+
+val observe : t -> Tla.Value.t
+(** Same shape as {!Sandtable.Spec_net.Make.observe} so conformance can
+    compare network state directly (queues as opaque payload digests are
+    omitted; only connectivity and queue lengths are compared). *)

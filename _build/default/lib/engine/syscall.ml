@@ -1,0 +1,20 @@
+type t = {
+  id : int;
+  nodes : int;
+  send : dst:int -> bytes -> bool;
+  now_us : unit -> int;
+  log : string -> unit;
+  persist_set : string -> string -> unit;
+  persist_get : string -> string option;
+  alloc : int -> unit;
+  free : int -> unit;
+}
+
+type handle = {
+  handle_message : src:int -> bytes -> unit;
+  on_timeout : kind:string -> unit;
+  on_client : op:string -> unit;
+  observe : unit -> Tla.Value.t;
+}
+
+type boot = t -> handle

@@ -1,0 +1,34 @@
+(** The interposition surface (paper §A.1).
+
+    Implementations interact with their environment exclusively through this
+    context — the analogue of the [LD_PRELOAD]-intercepted libc wrappers.
+    Sends flow through the proxy, time reads come from the virtual clock,
+    log writes land in an engine-captured buffer (for log-based state
+    observation), and the persistence API models the on-disk state that
+    survives crashes. *)
+
+type t = {
+  id : int;  (** this node's id *)
+  nodes : int;  (** cluster size *)
+  send : dst:int -> bytes -> bool;
+      (** [false]: connection broken (TCP) or packet lost (UDP) *)
+  now_us : unit -> int;  (** intercepted clock read; monotonic *)
+  log : string -> unit;  (** intercepted logging file descriptor *)
+  persist_set : string -> string -> unit;
+  persist_get : string -> string option;
+  alloc : int -> unit;  (** allocation accounting, for leak detection *)
+  free : int -> unit;
+}
+
+(** Implementations register as first-class handle factories so the engine
+    stays independent of each system's node type. *)
+type handle = {
+  handle_message : src:int -> bytes -> unit;
+  on_timeout : kind:string -> unit;
+  on_client : op:string -> unit;
+  observe : unit -> Tla.Value.t;  (** API-based state observation *)
+}
+
+type boot = t -> handle
+(** Called at node start and on every restart; volatile state must be
+    rebuilt from scratch, persistent state recovered via [persist_get]. *)

@@ -1,0 +1,15 @@
+type t = { mutable now_us : int }
+
+(* An arbitrary fixed epoch (2020-01-01) so timestamps look realistic in
+   logs while remaining deterministic. *)
+let epoch_us = 1_577_836_800_000_000
+
+let create () = { now_us = epoch_us }
+
+let read_us t =
+  t.now_us <- t.now_us + 1;
+  t.now_us
+
+let peek_us t = t.now_us
+let advance_ms t ms = t.now_us <- t.now_us + (ms * 1000)
+let pp ppf t = Fmt.pf ppf "%dus" (t.now_us - epoch_us)

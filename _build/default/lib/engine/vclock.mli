@@ -1,0 +1,20 @@
+(** Per-node virtual clocks (paper §A.1 "Virtual clock").
+
+    The clock controls the implementation's perception of time: reads are
+    intercepted, and every read bumps the clock by a small predefined
+    increment to preserve monotonicity; timeout commands advance it
+    arbitrarily, triggering deadlines without waiting for wall time. *)
+
+type t
+
+val create : unit -> t
+(** Starts at a fixed epoch; deterministic across runs. *)
+
+val read_us : t -> int
+(** Current time in microseconds; each read advances by 1µs. *)
+
+val peek_us : t -> int
+(** Current time without the read increment. *)
+
+val advance_ms : t -> int -> unit
+val pp : Format.formatter -> t -> unit

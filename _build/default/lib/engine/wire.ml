@@ -1,0 +1,26 @@
+exception Corrupt of string
+
+let magic0 = '\x5a'
+let magic1 = '\x7e'
+let header_len = 6
+
+let frame payload =
+  let len = Bytes.length payload in
+  let out = Bytes.create (header_len + len) in
+  Bytes.set out 0 magic0;
+  Bytes.set out 1 magic1;
+  Bytes.set_int32_be out 2 (Int32.of_int len);
+  Bytes.blit payload 0 out header_len len;
+  out
+
+let payload_length buf =
+  if Bytes.length buf < header_len then raise (Corrupt "short frame");
+  if Bytes.get buf 0 <> magic0 || Bytes.get buf 1 <> magic1 then
+    raise (Corrupt "bad magic");
+  Int32.to_int (Bytes.get_int32_be buf 2)
+
+let unframe buf =
+  let len = payload_length buf in
+  if Bytes.length buf <> header_len + len then
+    raise (Corrupt "length mismatch");
+  Bytes.sub buf header_len len

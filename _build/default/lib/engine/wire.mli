@@ -1,0 +1,14 @@
+(** Message framing (paper §A.1 "Network interception").
+
+    The interceptor adds a header with message-boundary information so the
+    proxy can enqueue whole messages. Frames are
+    [magic(2) | length(4, big-endian) | payload]. *)
+
+exception Corrupt of string
+
+val frame : bytes -> bytes
+val unframe : bytes -> bytes
+(** Raises {!Corrupt} on bad magic or length mismatch. *)
+
+val payload_length : bytes -> int
+(** Length field of a frame without copying the payload. *)

@@ -1,0 +1,1 @@
+lib/raft_kernel/codec.ml: Buffer Bytes Fmt Int32 List Msg Types

@@ -1,0 +1,1 @@
+lib/raft_kernel/codec.mli: Msg

@@ -1,0 +1,1 @@
+lib/raft_kernel/log.ml: Fmt List Option Tla Types

@@ -1,0 +1,1 @@
+lib/raft_kernel/log.mli: Format Tla Types

@@ -1,0 +1,1 @@
+lib/raft_kernel/msg.ml: Fmt List Tla Types

@@ -1,0 +1,1 @@
+lib/raft_kernel/net.ml: Msg Sandtable

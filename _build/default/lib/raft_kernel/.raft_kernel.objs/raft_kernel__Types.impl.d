@@ -1,0 +1,1 @@
+lib/raft_kernel/types.ml: Fmt Tla

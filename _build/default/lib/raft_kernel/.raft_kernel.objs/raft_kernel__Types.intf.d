@@ -1,0 +1,1 @@
+lib/raft_kernel/types.mli: Format Tla

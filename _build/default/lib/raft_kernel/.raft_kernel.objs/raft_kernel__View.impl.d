@@ -1,0 +1,1 @@
+lib/raft_kernel/view.ml: Array Log Sandtable Tla Types

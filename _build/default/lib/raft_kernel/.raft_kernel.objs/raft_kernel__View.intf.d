@@ -1,0 +1,1 @@
+lib/raft_kernel/view.mli: Log Tla Types

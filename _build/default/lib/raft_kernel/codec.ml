@@ -1,0 +1,140 @@
+exception Decode_error of string
+
+let tag_request_vote = 1
+let tag_vote = 2
+let tag_append_entries = 3
+let tag_append_reply = 4
+let tag_snapshot = 5
+let tag_snapshot_reply = 6
+
+module W = struct
+  let create () = Buffer.create 64
+  let u8 b v = Buffer.add_uint8 b v
+  let i32 b v = Buffer.add_int32_be b (Int32.of_int v)
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let entry b (e : Types.entry) =
+    i32 b e.term;
+    i32 b e.value
+
+  let entries b es =
+    i32 b (List.length es);
+    List.iter (entry b) es
+end
+
+module R = struct
+  type reader = { buf : bytes; mutable pos : int }
+
+  let create buf = { buf; pos = 0 }
+
+  let u8 r =
+    if r.pos >= Bytes.length r.buf then raise (Decode_error "truncated");
+    let v = Bytes.get_uint8 r.buf r.pos in
+    r.pos <- r.pos + 1;
+    v
+
+  let i32 r =
+    if r.pos + 4 > Bytes.length r.buf then raise (Decode_error "truncated");
+    let v = Int32.to_int (Bytes.get_int32_be r.buf r.pos) in
+    r.pos <- r.pos + 4;
+    v
+
+  let bool r =
+    match u8 r with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Decode_error (Fmt.str "bad bool %d" n))
+
+  let entry r : Types.entry =
+    let term = i32 r in
+    let value = i32 r in
+    { term; value }
+
+  let entries r =
+    let n = i32 r in
+    if n < 0 || n > 1_000_000 then raise (Decode_error "bad entry count");
+    List.init n (fun _ -> entry r)
+
+  let eof r =
+    if r.pos <> Bytes.length r.buf then raise (Decode_error "trailing bytes")
+end
+
+let encode (m : Msg.t) =
+  let b = W.create () in
+  (match m with
+  | Request_vote { term; last_log_index; last_log_term; prevote } ->
+    W.u8 b tag_request_vote;
+    W.i32 b term;
+    W.i32 b last_log_index;
+    W.i32 b last_log_term;
+    W.bool b prevote
+  | Vote { term; granted; prevote } ->
+    W.u8 b tag_vote;
+    W.i32 b term;
+    W.bool b granted;
+    W.bool b prevote
+  | Append_entries { term; prev_index; prev_term; entries; commit } ->
+    W.u8 b tag_append_entries;
+    W.i32 b term;
+    W.i32 b prev_index;
+    W.i32 b prev_term;
+    W.entries b entries;
+    W.i32 b commit
+  | Append_reply { term; success; next_hint } ->
+    W.u8 b tag_append_reply;
+    W.i32 b term;
+    W.bool b success;
+    W.i32 b next_hint
+  | Snapshot { term; last_index; last_term } ->
+    W.u8 b tag_snapshot;
+    W.i32 b term;
+    W.i32 b last_index;
+    W.i32 b last_term
+  | Snapshot_reply { term; success; next_hint } ->
+    W.u8 b tag_snapshot_reply;
+    W.i32 b term;
+    W.bool b success;
+    W.i32 b next_hint);
+  Buffer.to_bytes b
+
+let decode buf =
+  let r = R.create buf in
+  let msg : Msg.t =
+    match R.u8 r with
+    | t when t = tag_request_vote ->
+      let term = R.i32 r in
+      let last_log_index = R.i32 r in
+      let last_log_term = R.i32 r in
+      let prevote = R.bool r in
+      Request_vote { term; last_log_index; last_log_term; prevote }
+    | t when t = tag_vote ->
+      let term = R.i32 r in
+      let granted = R.bool r in
+      let prevote = R.bool r in
+      Vote { term; granted; prevote }
+    | t when t = tag_append_entries ->
+      let term = R.i32 r in
+      let prev_index = R.i32 r in
+      let prev_term = R.i32 r in
+      let entries = R.entries r in
+      let commit = R.i32 r in
+      Append_entries { term; prev_index; prev_term; entries; commit }
+    | t when t = tag_append_reply ->
+      let term = R.i32 r in
+      let success = R.bool r in
+      let next_hint = R.i32 r in
+      Append_reply { term; success; next_hint }
+    | t when t = tag_snapshot ->
+      let term = R.i32 r in
+      let last_index = R.i32 r in
+      let last_term = R.i32 r in
+      Snapshot { term; last_index; last_term }
+    | t when t = tag_snapshot_reply ->
+      let term = R.i32 r in
+      let success = R.bool r in
+      let next_hint = R.i32 r in
+      Snapshot_reply { term; success; next_hint }
+    | t -> raise (Decode_error (Fmt.str "unknown tag %d" t))
+  in
+  R.eof r;
+  msg

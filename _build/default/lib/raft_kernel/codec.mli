@@ -1,0 +1,12 @@
+(** Binary wire codec for {!Msg.t}.
+
+    The implementation level exchanges real serialized bytes through the
+    network proxy, exercising the message-boundary handling the paper's
+    interceptor performs (§A.1). Format: tag byte, then fixed-width
+    big-endian 32-bit fields; entry lists are count-prefixed. *)
+
+exception Decode_error of string
+
+val encode : Msg.t -> bytes
+val decode : bytes -> Msg.t
+(** Raises {!Decode_error} on malformed input. *)

@@ -1,0 +1,85 @@
+let pairs views f =
+  let n = Array.length views in
+  let ok = ref true in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if !ok then ok := f views.(a) views.(b)
+    done
+  done;
+  !ok
+
+let election_safety views =
+  pairs views (fun (a : View.t) (b : View.t) ->
+      not
+        (a.alive && b.alive && a.role = Types.Leader && b.role = Types.Leader
+       && a.current_term = b.current_term))
+
+let log_matching views =
+  pairs views (fun (a : View.t) (b : View.t) ->
+      Log.is_prefix_consistent a.log b.log)
+
+let next_gt_match views =
+  Array.for_all
+    (fun (v : View.t) ->
+      (not (v.alive && v.role = Types.Leader))
+      ||
+      let n = Array.length v.next_index in
+      let rec check p =
+        p >= n || v.next_index.(p) > v.match_index.(p) && check (p + 1)
+      in
+      check 0)
+    views
+
+let committed_consistent views =
+  pairs views (fun (a : View.t) (b : View.t) ->
+      if not (a.alive && b.alive) then true
+      else begin
+        let hi = min a.commit_index b.commit_index in
+        let rec check i =
+          i > hi
+          ||
+          match Log.term_at a.log i, Log.term_at b.log i with
+          | Some ta, Some tb -> ta = tb && check (i + 1)
+          | None, _ | _, None -> check (i + 1)  (* compacted: was committed *)
+        in
+        check 1
+      end)
+
+let commit_quorum views =
+  let nodes = Array.length views in
+  let stored_by i term nd =
+    let v : View.t = views.(nd) in
+    match Log.term_at v.log i with
+    | Some t -> t = term
+    | None -> i <= Log.base_index v.log  (* compacted implies stored *)
+  in
+  Array.for_all
+    (fun (v : View.t) ->
+      (not (v.alive && v.role = Types.Leader))
+      ||
+      let rec check i =
+        i > v.commit_index
+        ||
+        match Log.term_at v.log i with
+        | None -> check (i + 1)  (* compacted *)
+        | Some term ->
+          let copies =
+            let count = ref 0 in
+            for nd = 0 to nodes - 1 do
+              if stored_by i term nd then incr count
+            done;
+            !count
+          in
+          Types.is_quorum copies ~nodes && check (i + 1)
+      in
+      check 1)
+    views
+
+let no_flag name flags = not (List.mem name flags)
+
+let standard =
+  [ "ElectionSafety", election_safety;
+    "LogMatching", log_matching;
+    "NextIndexGtMatchIndex", next_gt_match;
+    "CommittedLogConsistency", committed_consistent;
+    "CommitQuorumDurability", commit_quorum ]

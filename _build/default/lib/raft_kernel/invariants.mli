@@ -1,0 +1,34 @@
+(** Safety properties common to the Raft family (paper §4.2: "Most safety
+    properties in Raft systems are common, such as having only one valid
+    Leader, log consistency in the cluster, log durability, commitment
+    requirements, and the monotonicity of specific variables").
+
+    State-based properties take the cluster as {!View.t}s; monotonicity and
+    other action properties are recorded by the specs as violation flags
+    (history-variable style) and checked with {!no_flag}. *)
+
+val election_safety : View.t array -> bool
+(** At most one alive leader per term. *)
+
+val log_matching : View.t array -> bool
+(** Any two logs agree on the terms of all indexes both contain. *)
+
+val next_gt_match : View.t array -> bool
+(** On every leader, nextIndex exceeds matchIndex for every peer. *)
+
+val committed_consistent : View.t array -> bool
+(** Any two alive nodes agree on all entries both consider committed (log
+    durability / committed-log consistency). Compacted indexes are treated
+    as consistent — they were committed by a quorum before compaction. *)
+
+val commit_quorum : View.t array -> bool
+(** Every index a {e leader} considers committed is stored in a quorum of
+    logs (commitment requirement). Followers are exempt: their commit index
+    trails the leader's by message delay. *)
+
+val no_flag : string -> string list -> bool
+(** [no_flag name flags] — the action property [name] was never violated. *)
+
+val standard : (string * (View.t array -> bool)) list
+(** The named state-based invariants above, for wholesale inclusion in a
+    system's invariant list. *)

@@ -1,0 +1,93 @@
+type t =
+  | Request_vote of {
+      term : Types.term;
+      last_log_index : Types.index;
+      last_log_term : Types.term;
+      prevote : bool;
+    }
+  | Vote of { term : Types.term; granted : bool; prevote : bool }
+  | Append_entries of {
+      term : Types.term;
+      prev_index : Types.index;
+      prev_term : Types.term;
+      entries : Types.entry list;
+      commit : Types.index;
+    }
+  | Append_reply of {
+      term : Types.term;
+      success : bool;
+      next_hint : Types.index;
+    }
+  | Snapshot of {
+      term : Types.term;
+      last_index : Types.index;
+      last_term : Types.term;
+    }
+  | Snapshot_reply of { term : Types.term; success : bool; next_hint : Types.index }
+
+let describe = function
+  | Request_vote { term; last_log_index; last_log_term; prevote } ->
+    Fmt.str "%s(t%d,l%d:%d)" (if prevote then "PreRV" else "RV") term
+      last_log_index last_log_term
+  | Vote { term; granted; prevote } ->
+    Fmt.str "%s(t%d,%c)" (if prevote then "PreVote" else "Vote") term
+      (if granted then 'T' else 'F')
+  | Append_entries { term; prev_index; prev_term; entries; commit } ->
+    Fmt.str "AE(t%d,p%d:%d,+%d,c%d)" term prev_index prev_term
+      (List.length entries) commit
+  | Append_reply { term; success; next_hint } ->
+    Fmt.str "AER(t%d,%c,n%d)" term (if success then 'T' else 'F') next_hint
+  | Snapshot { term; last_index; last_term } ->
+    Fmt.str "Snap(t%d,l%d:%d)" term last_index last_term
+  | Snapshot_reply { term; success; next_hint } ->
+    Fmt.str "SnapR(t%d,%c,n%d)" term (if success then 'T' else 'F') next_hint
+
+let observe m =
+  let open Tla.Value in
+  match m with
+  | Request_vote { term; last_log_index; last_log_term; prevote } ->
+    record
+      [ "type", str (if prevote then "prevote_request" else "vote_request");
+        "term", int term;
+        "last_log_index", int last_log_index;
+        "last_log_term", int last_log_term ]
+  | Vote { term; granted; prevote } ->
+    record
+      [ "type", str (if prevote then "prevote_reply" else "vote_reply");
+        "term", int term;
+        "granted", bool granted ]
+  | Append_entries { term; prev_index; prev_term; entries; commit } ->
+    record
+      [ "type", str "append_entries";
+        "term", int term;
+        "prev_index", int prev_index;
+        "prev_term", int prev_term;
+        "entries", seq (List.map Types.observe_entry entries);
+        "commit", int commit ]
+  | Append_reply { term; success; next_hint } ->
+    record
+      [ "type", str "append_reply";
+        "term", int term;
+        "success", bool success;
+        "next_hint", int next_hint ]
+  | Snapshot { term; last_index; last_term } ->
+    record
+      [ "type", str "snapshot";
+        "term", int term;
+        "last_index", int last_index;
+        "last_term", int last_term ]
+  | Snapshot_reply { term; success; next_hint } ->
+    record
+      [ "type", str "snapshot_reply";
+        "term", int term;
+        "success", bool success;
+        "next_hint", int next_hint ]
+
+let term = function
+  | Request_vote { term; _ }
+  | Vote { term; _ }
+  | Append_entries { term; _ }
+  | Append_reply { term; _ }
+  | Snapshot { term; _ }
+  | Snapshot_reply { term; _ } ->
+    term

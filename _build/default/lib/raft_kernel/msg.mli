@@ -1,0 +1,40 @@
+(** Raft wire messages.
+
+    One message type covers the dialects of all seven Raft-family systems;
+    each system uses the fields its real counterpart carries (e.g. the
+    [next_hint] of append replies is PySyncObj's [Inext], WRaft's
+    [current_idx + 1], RaftOS's [last_log_index + 1]). *)
+
+type t =
+  | Request_vote of {
+      term : Types.term;
+      last_log_index : Types.index;
+      last_log_term : Types.term;
+      prevote : bool;  (** PreVote extension (RedisRaft, DaosRaft, Xraft) *)
+    }
+  | Vote of { term : Types.term; granted : bool; prevote : bool }
+  | Append_entries of {
+      term : Types.term;
+      prev_index : Types.index;
+      prev_term : Types.term;
+      entries : Types.entry list;
+      commit : Types.index;
+    }
+  | Append_reply of {
+      term : Types.term;
+      success : bool;
+      next_hint : Types.index;
+          (** receiver's suggestion for the sender's next index *)
+    }
+  | Snapshot of {
+      term : Types.term;
+      last_index : Types.index;
+      last_term : Types.term;
+    }
+  | Snapshot_reply of { term : Types.term; success : bool; next_hint : Types.index }
+
+val describe : t -> string
+(** Compact descriptor, e.g. ["AE(t2,p3:1,+2,c1)"]; used in trace events. *)
+
+val observe : t -> Tla.Value.t
+val term : t -> Types.term

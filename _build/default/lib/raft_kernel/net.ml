@@ -1,0 +1,9 @@
+(** The specification-level network instantiated with Raft messages; shared
+    by all seven Raft-family system specifications. *)
+
+include Sandtable.Spec_net.Make (struct
+  type t = Msg.t
+
+  let describe = Msg.describe
+  let observe = Msg.observe
+end)

@@ -1,0 +1,22 @@
+type term = int
+type index = int
+type role = Follower | Candidate | Leader
+
+let role_to_string = function
+  | Follower -> "follower"
+  | Candidate -> "candidate"
+  | Leader -> "leader"
+
+let pp_role ppf r = Fmt.string ppf (role_to_string r)
+let observe_role r = Tla.Value.str (role_to_string r)
+
+type entry = { term : term; value : int }
+
+let entry ~term ~value = { term; value }
+let pp_entry ppf e = Fmt.pf ppf "%d:%d" e.term e.value
+
+let observe_entry e =
+  Tla.Value.record [ "term", Tla.Value.int e.term; "value", Tla.Value.int e.value ]
+
+let quorum n = (n / 2) + 1
+let is_quorum count ~nodes = count >= quorum nodes

@@ -1,0 +1,24 @@
+(** Shared Raft protocol vocabulary used by the seven Raft-family systems
+    (PySyncObj, WRaft, RedisRaft, DaosRaft, RaftOS, Xraft, Xraft-KV). *)
+
+type term = int
+type index = int  (** log indexes are 1-based; 0 means "none" *)
+
+type role = Follower | Candidate | Leader
+
+val role_to_string : role -> string
+val pp_role : Format.formatter -> role -> unit
+val observe_role : role -> Tla.Value.t
+
+type entry = { term : term; value : int }
+(** A replicated log entry; [value] 0 is a no-op, positive values come from
+    the client workload. *)
+
+val entry : term:term -> value:int -> entry
+val pp_entry : Format.formatter -> entry -> unit
+val observe_entry : entry -> Tla.Value.t
+
+val quorum : int -> int
+(** [quorum n] = strict majority size for an [n]-node cluster. *)
+
+val is_quorum : int -> nodes:int -> bool

@@ -1,0 +1,33 @@
+type t = {
+  alive : bool;
+  role : Types.role;
+  current_term : Types.term;
+  voted_for : int option;
+  log : Log.t;
+  commit_index : Types.index;
+  next_index : Types.index array;
+  match_index : Types.index array;
+}
+
+let observe v =
+  let open Tla.Value in
+  if not v.alive then record [ "status", str "down" ]
+  else
+    record
+      [ "status", str "up";
+        "role", Types.observe_role v.role;
+        "term", int v.current_term;
+        ( "voted_for",
+          match v.voted_for with None -> str "none" | Some n -> int n );
+        "log", Log.observe v.log;
+        "commit", int v.commit_index;
+        "next", seq (Array.to_list (Array.map int v.next_index));
+        "match", seq (Array.to_list (Array.map int v.match_index)) ]
+
+let observe_cluster views =
+  Tla.Value.map
+    (Array.to_list
+       (Array.mapi
+          (fun i v ->
+            Tla.Value.str (Sandtable.Trace.node_name i), observe v)
+          views))

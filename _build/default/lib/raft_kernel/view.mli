@@ -1,0 +1,20 @@
+(** A system-agnostic projection of one node's Raft state, used by the
+    shared safety invariants ({!Invariants}) and by observation builders. *)
+
+type t = {
+  alive : bool;
+  role : Types.role;
+  current_term : Types.term;
+  voted_for : int option;
+  log : Log.t;
+  commit_index : Types.index;
+  next_index : Types.index array;  (** per peer; own slot ignored *)
+  match_index : Types.index array;
+}
+
+val observe : t -> Tla.Value.t
+(** Record with fields [status role term voted_for log commit next match];
+    down nodes observe as [[status |-> "down"]] plus persistent state. *)
+
+val observe_cluster : t array -> Tla.Value.t
+(** Map from node name to {!observe}. *)

@@ -1,0 +1,1 @@
+lib/systems/bug.ml: Fmt Sandtable Set String

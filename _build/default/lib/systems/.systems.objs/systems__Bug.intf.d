@@ -1,0 +1,1 @@
+lib/systems/bug.mli: Format Sandtable Set

@@ -1,0 +1,1 @@
+lib/systems/common.ml: Engine Fmt List Option Sandtable Tla

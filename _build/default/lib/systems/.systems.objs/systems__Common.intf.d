@@ -1,0 +1,1 @@
+lib/systems/common.mli: Engine Sandtable Tla

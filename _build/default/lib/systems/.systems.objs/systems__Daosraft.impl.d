@@ -1,0 +1,1 @@
+lib/systems/daosraft.ml: Bug Common Engine Sandtable Wraft_family Wraft_family_impl

@@ -1,0 +1,1 @@
+lib/systems/pysyncobj.ml: Bug Common Engine Pysyncobj_impl Pysyncobj_spec Sandtable

@@ -1,0 +1,1 @@
+lib/systems/pysyncobj_impl.ml: Array Bug Codec Engine Fmt Int List Log Msg Option Pysyncobj_spec Raft_kernel String Types View

@@ -1,0 +1,1 @@
+lib/systems/raftos.ml: Bug Common Engine Raftos_impl Raftos_spec Sandtable

@@ -1,0 +1,1 @@
+lib/systems/raftos_impl.ml: Array Bug Codec Engine Fmt Int List Log Marshal Msg Option Raft_kernel Sandtable String Types View

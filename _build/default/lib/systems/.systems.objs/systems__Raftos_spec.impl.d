@@ -1,0 +1,1 @@
+lib/systems/raftos_spec.ml: Array Bug Dump Fmt Int Invariants List Log Msg Net Option Raft_kernel Sandtable String Tla Types View

@@ -1,0 +1,1 @@
+lib/systems/redisraft.ml: Bug Common Engine Sandtable Wraft_family Wraft_family_impl

@@ -1,0 +1,1 @@
+lib/systems/registry.ml: Bug Daosraft Engine List Pysyncobj Raftos Redisraft Sandtable String Wraft Xraft Xraft_kv Zookeeper

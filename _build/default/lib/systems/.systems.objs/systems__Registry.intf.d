@@ -1,0 +1,1 @@
+lib/systems/registry.mli: Bug Engine Sandtable

@@ -1,0 +1,1 @@
+lib/systems/wraft.ml: Bug Common Engine Fmt Sandtable Wraft_family Wraft_family_impl

@@ -1,0 +1,1 @@
+lib/systems/wraft_family.ml: Array Bug Dump Fmt Int Invariants List Log Msg Net Option Raft_kernel Sandtable String Tla Types View

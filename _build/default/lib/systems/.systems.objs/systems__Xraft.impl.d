@@ -1,0 +1,1 @@
+lib/systems/xraft.ml: Bug Common Engine Fmt List Sandtable String Tla Xraft_family Xraft_family_impl

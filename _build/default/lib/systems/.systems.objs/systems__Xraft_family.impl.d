@@ -1,0 +1,1 @@
+lib/systems/xraft_family.ml: Array Bug Dump Fmt Hashtbl Int Invariants List Log Msg Net Option Raft_kernel Sandtable Tla Types View

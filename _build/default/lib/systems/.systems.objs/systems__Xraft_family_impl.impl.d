@@ -1,0 +1,1 @@
+lib/systems/xraft_family_impl.ml: Array Bug Codec Engine Fmt Int List Log Marshal Msg Option Raft_kernel String Types View Xraft_family

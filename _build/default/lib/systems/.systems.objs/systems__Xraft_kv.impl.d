@@ -1,0 +1,1 @@
+lib/systems/xraft_kv.ml: Bug Common Engine Sandtable Xraft_family Xraft_family_impl

@@ -1,0 +1,1 @@
+lib/systems/zookeeper.ml: Bug Common Engine Sandtable Zookeeper_impl Zookeeper_spec

@@ -1,0 +1,1 @@
+lib/systems/zookeeper_impl.ml: Bug Engine Fmt Int List Marshal Option Raft_kernel String Tla Zookeeper_spec

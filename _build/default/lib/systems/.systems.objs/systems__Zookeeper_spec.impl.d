@@ -1,0 +1,1 @@
+lib/systems/zookeeper_spec.ml: Array Bug Fmt Int List Option Raft_kernel Sandtable String Tla

@@ -1,0 +1,28 @@
+module Flags = Set.Make (String)
+
+let flags l = Flags.of_list l
+
+type stage = Verification | Conformance | Modeling
+
+let stage_to_string = function
+  | Verification -> "Verification"
+  | Conformance -> "Conformance"
+  | Modeling -> "Modeling"
+
+type info = {
+  id : string;
+  system : string;
+  flags : string list;
+  stage : stage;
+  status : string;
+  consequence : string;
+  invariant : string option;
+  scenario : Sandtable.Scenario.t;
+  paper_time : string;
+  paper_depth : int option;
+  paper_states : int option;
+}
+
+let pp_info ppf i =
+  Fmt.pf ppf "%s [%s/%s] %s" i.id (stage_to_string i.stage) i.status
+    i.consequence

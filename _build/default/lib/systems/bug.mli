@@ -1,0 +1,33 @@
+(** Bug registry metadata (paper Table 2).
+
+    Every one of the paper's 23 bugs is re-implemented behind a flag; a
+    system built with a bug's flags enabled reproduces the historical buggy
+    behaviour in both its specification and its implementation. *)
+
+module Flags : Set.S with type elt = string
+
+val flags : string list -> Flags.t
+
+type stage =
+  | Verification  (** found by BFS model checking: safety violation *)
+  | Conformance  (** surfaces during conformance replay (impl crash, leak, stuck) *)
+  | Modeling  (** noticed while writing the spec *)
+
+val stage_to_string : stage -> string
+
+type info = {
+  id : string;  (** e.g. ["PySyncObj#4"] *)
+  system : string;
+  flags : string list;  (** flags that enable the buggy behaviour *)
+  stage : stage;
+  status : string;  (** ["New"] or ["Old"], as reported in the paper *)
+  consequence : string;
+  invariant : string option;
+      (** target safety property for [Verification] bugs *)
+  scenario : Sandtable.Scenario.t;  (** detection scenario (§5.1 constraints) *)
+  paper_time : string;
+  paper_depth : int option;
+  paper_states : int option;
+}
+
+val pp_info : Format.formatter -> info -> unit

@@ -1,0 +1,39 @@
+(** Glue shared by the eight integrated systems: the conformance observation
+    mask and the engine-backed system-under-test builder. *)
+
+val mask_net : Tla.Value.t -> Tla.Value.t
+(** Project a spec-side network observation (per-link [connected] +
+    [queue] contents) to what the proxy exposes ([connected] +
+    [queue_len]); the paper compares "message counts" for the network
+    environment (§3.2). *)
+
+val conformance_mask : Tla.Value.t -> Tla.Value.t
+(** Project a full spec observation [{nodes; net; counters; flags; ...}]
+    down to the impl-observable [{nodes; net}] record, with {!mask_net}
+    applied to the network component. *)
+
+val observe_cluster : Engine.Cluster.t -> Tla.Value.t
+(** Implementation-side observation with the same shape as
+    {!conformance_mask} output: per-node API observations (down nodes as
+    [[status |-> "down"]]) plus the proxy's network view. *)
+
+val sut :
+  ?timeouts:(string * int) list ->
+  ?cost:Engine.Cost.profile ->
+  ?post:(Engine.Cluster.t -> Sandtable.Trace.event -> (unit, string) result) ->
+  semantics:Sandtable.Spec_net.semantics ->
+  boot:Engine.Syscall.boot ->
+  Sandtable.Scenario.t ->
+  Sandtable.Conformance.sut
+(** Boot an engine-backed cluster as a conformance SUT. [post] runs after
+    each successful event (e.g. leak detection) and can fail the replay. *)
+
+val cluster_of_sut_config :
+  ?timeouts:(string * int) list ->
+  ?cost:Engine.Cost.profile ->
+  semantics:Sandtable.Spec_net.semantics ->
+  boot:Engine.Syscall.boot ->
+  Sandtable.Scenario.t ->
+  Engine.Cluster.t
+(** The underlying cluster builder, exposed for benchmarks that need direct
+    engine access (cost accounting). *)

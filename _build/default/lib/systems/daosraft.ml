@@ -1,0 +1,56 @@
+(* DaosRaft integration (paper §4.2, Table 2 row DaosRaft#1): the DAOS
+   storage stack's WRaft fork with PreVote, over TCP semantics. *)
+
+module Scenario = Sandtable.Scenario
+
+let name = "daosraft"
+let semantics = Sandtable.Spec_net.Tcp
+let prevote = true
+let compaction = false
+let timeouts = [ "election", 1000; "heartbeat", 200 ]
+
+let spec ?bugs () =
+  Wraft_family.spec ~name ~semantics ~prevote ~compaction ?bugs ()
+
+let boot ?bugs () = Wraft_family_impl.boot ?bugs ~prevote ~compaction ()
+
+let sut ?bugs ?cost scenario =
+  Common.sut ~timeouts ?cost ~semantics ~boot:(boot ?bugs ()) scenario
+
+let bundle ?bugs scenario : Sandtable.Workflow.bundle =
+  { bname = name;
+    spec = spec ?bugs ();
+    boot = (fun sc -> sut ?bugs sc);
+    mask = Common.conformance_mask;
+    scenario }
+
+let scenario_2n =
+  Scenario.v ~name:"daosraft-2n" ~nodes:2 ~workload:[ 1; 2 ]
+    [ "timeouts", 6; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "buffer", 4 ]
+
+let scenario_3n =
+  Scenario.v ~name:"daosraft-3n" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 5; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "buffer", 4 ]
+
+let default_scenario = scenario_3n
+
+let cost_profile =
+  Engine.Cost.profile ~init_ms:300. ~per_event_ms:38. ~async_sleep_ms:0. ()
+
+let all_flags = [ "daos1" ]
+
+let bugs : Bug.info list =
+  [ { id = "DaosRaft#1";
+      system = name;
+      flags = [ "daos1" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Leader votes for others";
+      invariant = Some "LeaderDoesNotVote";
+      scenario = scenario_3n;
+      paper_time = "5s";
+      paper_depth = Some 8;
+      paper_states = Some 476 };
+    ]

@@ -1,0 +1,100 @@
+(* PySyncObj integration: spec + implementation + scenarios + bug registry
+   (paper §4.2, Table 2 rows PySyncObj#1–#5). *)
+
+module Scenario = Sandtable.Scenario
+
+let name = "pysyncobj"
+let semantics = Sandtable.Spec_net.Tcp
+let timeouts = [ "election", 1000; "heartbeat", 300 ]
+
+let spec = Pysyncobj_spec.spec
+
+let boot ?bugs () = Pysyncobj_impl.boot ?bugs ()
+
+let sut ?bugs ?cost scenario =
+  Common.sut ~timeouts ?cost ~semantics ~boot:(boot ?bugs ()) scenario
+
+let bundle ?bugs scenario : Sandtable.Workflow.bundle =
+  { bname = name;
+    spec = spec ?bugs ();
+    boot = (fun sc -> sut ?bugs sc);
+    mask = Common.conformance_mask;
+    scenario }
+
+(* Detection scenarios follow §5.1: 2–3 nodes, two workload values, 3–6
+   timeouts, 3–4 client requests, 1–4 failures, message buffers 4–10. *)
+let scenario_2n =
+  Scenario.v ~name:"pysyncobj-2n" ~nodes:2 ~workload:[ 1; 2 ]
+    [ "timeouts", 6; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "buffer", 4 ]
+
+let scenario_3n =
+  Scenario.v ~name:"pysyncobj-3n" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 4; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "buffer", 4 ]
+
+let default_scenario = scenario_2n
+
+(* Cost profile for §5.3: PySyncObj runs under the sleep-free portable test
+   driver (~1.8s per ~40-event trace in the paper). *)
+let cost_profile =
+  Engine.Cost.profile ~init_ms:300. ~per_event_ms:37. ~async_sleep_ms:0. ()
+
+let all_flags = [ "pso1"; "pso2"; "pso3"; "pso4"; "pso5" ]
+
+let bugs : Bug.info list =
+  [ { id = "PySyncObj#1";
+      system = name;
+      flags = [ "pso1" ];
+      stage = Bug.Conformance;
+      status = "New";
+      consequence = "Unhandled exception during disconnection";
+      invariant = None;
+      scenario = scenario_2n;
+      paper_time = "-";
+      paper_depth = None;
+      paper_states = None };
+    { id = "PySyncObj#2";
+      system = name;
+      flags = [ "pso2"; "pso4" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Commit index is not monotonic";
+      invariant = Some "CommitIndexMonotonic";
+      scenario = scenario_2n;
+      paper_time = "6s";
+      paper_depth = Some 13;
+      paper_states = Some 93713 };
+    { id = "PySyncObj#3";
+      system = name;
+      flags = [ "pso3" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Next index <= match index";
+      invariant = Some "NextIndexGtMatchIndex";
+      scenario = scenario_2n;
+      paper_time = "7s";
+      paper_depth = Some 18;
+      paper_states = Some 189725 };
+    { id = "PySyncObj#4";
+      system = name;
+      flags = [ "pso4" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Match index is not monotonic";
+      invariant = Some "MatchIndexMonotonic";
+      scenario = scenario_2n;
+      paper_time = "35s";
+      paper_depth = Some 25;
+      paper_states = Some 1512679 };
+    { id = "PySyncObj#5";
+      system = name;
+      flags = [ "pso5" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Leader commits log entries of older terms";
+      invariant = Some "NoOlderTermCommit";
+      scenario = scenario_2n;
+      paper_time = "2min";
+      paper_depth = Some 14;
+      paper_states = Some 2364779 } ]

@@ -1,0 +1,308 @@
+(* The PySyncObj re-implementation: the same protocol logic as
+   {!Pysyncobj_spec}, but imperative, speaking the binary wire codec through
+   the interposition surface, persisting raft metadata (not the log — the
+   modelled deployment is journal-less), and logging STATE lines for
+   log-based observation.
+
+   Implementation-only bug:
+     pso1 — a failed send on a broken connection raises instead of being
+            handled (unhandled exception during disconnection, Table 2). *)
+
+open Raft_kernel
+module Syscall = Engine.Syscall
+
+let batch_size = Pysyncobj_spec.batch_size
+
+type t = {
+  ctx : Syscall.t;
+  bugs : Bug.Flags.t;
+  mutable role : Types.role;
+  mutable current_term : int;
+  mutable voted_for : int option;
+  mutable votes : int list;
+  mutable log : Log.t;
+  mutable commit_index : int;
+  mutable next_index : int array;
+  mutable match_index : int array;
+}
+
+let has t flag = Bug.Flags.mem flag t.bugs
+
+(* --- persistence of raft metadata ----------------------------------- *)
+
+let persist_meta t =
+  t.ctx.persist_set "term" (string_of_int t.current_term);
+  t.ctx.persist_set "voted"
+    (match t.voted_for with None -> "-" | Some v -> string_of_int v)
+
+let recover_meta t =
+  Option.iter
+    (fun s -> t.current_term <- int_of_string s)
+    (t.ctx.persist_get "term");
+  Option.iter
+    (fun s -> t.voted_for <- (if s = "-" then None else Some (int_of_string s)))
+    (t.ctx.persist_get "voted")
+
+(* --- helpers --------------------------------------------------------- *)
+
+let log_state t =
+  t.ctx.log
+    (Fmt.str "STATE role=%s term=%d voted=%s commit=%d last=%d"
+       (Types.role_to_string t.role)
+       t.current_term
+       (match t.voted_for with None -> "-" | Some v -> string_of_int v)
+       t.commit_index (Log.last_index t.log))
+
+let send t ~dst msg =
+  let ok = t.ctx.send ~dst (Codec.encode msg) in
+  if (not ok) && has t "pso1" then
+    failwith "unhandled exception: connection lost during send";
+  ok
+
+let broadcast t msg =
+  for dst = 0 to t.ctx.nodes - 1 do
+    if dst <> t.ctx.id then ignore (send t ~dst msg)
+  done
+
+let step_down t term =
+  if term > t.current_term then begin
+    t.current_term <- term;
+    t.role <- Types.Follower;
+    t.voted_for <- None;
+    t.votes <- [];
+    persist_meta t
+  end
+
+let up_to_date t ~last_log_term ~last_log_index =
+  last_log_term > Log.last_term t.log
+  || (last_log_term = Log.last_term t.log
+     && last_log_index >= Log.last_index t.log)
+
+let quorum_match t =
+  let n = t.ctx.nodes in
+  let replicated =
+    List.init n (fun j ->
+        if j = t.ctx.id then Log.last_index t.log else t.match_index.(j))
+  in
+  let sorted = List.sort (fun a b -> Int.compare b a) replicated in
+  List.nth sorted (Types.quorum n - 1)
+
+let advance_commit t =
+  let candidate = quorum_match t in
+  let candidate =
+    if has t "pso5" then candidate
+    else if
+      candidate > t.commit_index
+      && Log.term_at t.log candidate <> Some t.current_term
+    then t.commit_index
+    else candidate
+  in
+  t.commit_index <-
+    (if has t "pso2" then candidate else max t.commit_index candidate)
+
+let become_leader t =
+  let n = t.ctx.nodes in
+  t.role <- Types.Leader;
+  t.next_index <- Array.make n (Log.last_index t.log + 1);
+  t.match_index <- Array.make n 0
+
+(* --- timers ---------------------------------------------------------- *)
+
+let append_entries_to t peer =
+  let next = t.next_index.(peer) in
+  let prev_index = next - 1 in
+  let prev_term = Option.value (Log.term_at t.log prev_index) ~default:0 in
+  let entries =
+    let rec take n l =
+      if n = 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r
+    in
+    take batch_size (Log.entries_from t.log next)
+  in
+  ignore
+    (send t ~dst:peer
+       (Msg.Append_entries
+          { term = t.current_term;
+            prev_index;
+            prev_term;
+            entries;
+            commit = t.commit_index }));
+  if entries <> [] then
+    t.next_index.(peer) <- prev_index + List.length entries + 1
+
+let on_election_timeout t =
+  if t.role <> Types.Leader then begin
+    t.role <- Types.Candidate;
+    t.current_term <- t.current_term + 1;
+    t.voted_for <- Some t.ctx.id;
+    t.votes <- [ t.ctx.id ];
+    persist_meta t;
+    if Types.is_quorum 1 ~nodes:t.ctx.nodes then become_leader t;
+    broadcast t
+      (Msg.Request_vote
+         { term = t.current_term;
+           last_log_index = Log.last_index t.log;
+           last_log_term = Log.last_term t.log;
+           prevote = false })
+  end
+
+let on_heartbeat_timeout t =
+  if t.role = Types.Leader then
+    for peer = 0 to t.ctx.nodes - 1 do
+      if peer <> t.ctx.id then append_entries_to t peer
+    done
+
+(* --- message handlers ------------------------------------------------ *)
+
+let handle_request_vote t ~src ~term ~last_log_index ~last_log_term =
+  step_down t term;
+  let grant =
+    term = t.current_term
+    && (t.voted_for = None || t.voted_for = Some src)
+    && up_to_date t ~last_log_term ~last_log_index
+  in
+  if grant then begin
+    t.voted_for <- Some src;
+    persist_meta t
+  end;
+  ignore
+    (send t ~dst:src
+       (Msg.Vote { term = t.current_term; granted = grant; prevote = false }))
+
+let handle_vote t ~src ~term ~granted =
+  step_down t term;
+  if
+    t.role = Types.Candidate && term = t.current_term && granted
+    && not (List.mem src t.votes)
+  then begin
+    t.votes <- List.sort Int.compare (src :: t.votes);
+    if Types.is_quorum (List.length t.votes) ~nodes:t.ctx.nodes then
+      become_leader t
+  end
+
+let store_entries t ~prev_index entries =
+  let idx = ref (prev_index + 1) in
+  List.iter
+    (fun (e : Types.entry) ->
+      (match Log.term_at t.log !idx with
+      | Some term when term = e.term -> ()
+      | Some _ -> t.log <- Log.append (Log.truncate_from t.log !idx) e
+      | None -> t.log <- Log.append t.log e);
+      incr idx)
+    entries
+
+let handle_append_entries t ~src ~term ~prev_index ~prev_term ~entries ~commit
+    =
+  step_down t term;
+  if term < t.current_term then
+    ignore
+      (send t ~dst:src
+         (Msg.Append_reply
+            { term = t.current_term;
+              success = false;
+              next_hint = Log.last_index t.log + 1 }))
+  else begin
+    t.role <- Types.Follower;
+    if Log.matches t.log ~prev_index ~prev_term then begin
+      store_entries t ~prev_index entries;
+      t.commit_index <-
+        max t.commit_index (min commit (Log.last_index t.log));
+      let next_hint =
+        if entries = [] then Log.last_index t.log + 1
+        else prev_index + List.length entries + 1
+      in
+      ignore
+        (send t ~dst:src
+           (Msg.Append_reply
+              { term = t.current_term; success = true; next_hint }))
+    end
+    else
+      ignore
+        (send t ~dst:src
+           (Msg.Append_reply
+              { term = t.current_term;
+                success = false;
+                next_hint = min prev_index (Log.last_index t.log + 1) }))
+  end
+
+let handle_append_reply t ~src ~term ~success ~next_hint =
+  step_down t term;
+  if t.role = Types.Leader && term >= t.current_term then
+    if success then begin
+      let new_match =
+        if has t "pso4" then next_hint - 1
+        else max t.match_index.(src) (next_hint - 1)
+      in
+      let new_next =
+        if has t "pso4" then next_hint else max t.next_index.(src) next_hint
+      in
+      t.match_index.(src) <- new_match;
+      t.next_index.(src) <- new_next;
+      advance_commit t
+    end
+    else
+      t.next_index.(src) <-
+        (if has t "pso3" then next_hint
+         else max next_hint (t.match_index.(src) + 1))
+
+(* --- the engine-facing handle ---------------------------------------- *)
+
+let view t : View.t =
+  { alive = true;
+    role = t.role;
+    current_term = t.current_term;
+    voted_for = t.voted_for;
+    log = t.log;
+    commit_index = t.commit_index;
+    next_index = t.next_index;
+    match_index = t.match_index }
+
+let handle_message t ~src payload =
+  (match Codec.decode payload with
+  | Msg.Request_vote { term; last_log_index; last_log_term; prevote = _ } ->
+    handle_request_vote t ~src ~term ~last_log_index ~last_log_term
+  | Msg.Vote { term; granted; prevote = _ } -> handle_vote t ~src ~term ~granted
+  | Msg.Append_entries { term; prev_index; prev_term; entries; commit } ->
+    handle_append_entries t ~src ~term ~prev_index ~prev_term ~entries ~commit
+  | Msg.Append_reply { term; success; next_hint } ->
+    handle_append_reply t ~src ~term ~success ~next_hint
+  | Msg.Snapshot _ | Msg.Snapshot_reply _ ->
+    failwith "pysyncobj: unexpected snapshot message");
+  log_state t
+
+let on_timeout t ~kind =
+  (match kind with
+  | "election" -> on_election_timeout t
+  | "heartbeat" -> on_heartbeat_timeout t
+  | other -> failwith ("pysyncobj: unknown timeout kind " ^ other));
+  log_state t
+
+let on_client t ~op =
+  (match String.split_on_char ':' op with
+  | [ "put"; v ] when t.role = Types.Leader ->
+    t.log <-
+      Log.append t.log (Types.entry ~term:t.current_term ~value:(int_of_string v));
+    advance_commit t
+  | _ -> ());
+  log_state t
+
+let boot ?(bugs = Bug.Flags.empty) () : Syscall.boot =
+ fun ctx ->
+  let n = ctx.nodes in
+  let t =
+    { ctx;
+      bugs;
+      role = Types.Follower;
+      current_term = 0;
+      voted_for = None;
+      votes = [];
+      log = Log.empty;
+      commit_index = 0;
+      next_index = Array.make n 1;
+      match_index = Array.make n 0 }
+  in
+  recover_meta t;
+  log_state t;
+  { Syscall.handle_message = handle_message t;
+    on_timeout = on_timeout t;
+    on_client = on_client t;
+    observe = (fun () -> View.observe (view t)) }

@@ -1,0 +1,93 @@
+(* RaftOS integration (paper §4.2, Table 2 rows RaftOS#1–#4). *)
+
+module Scenario = Sandtable.Scenario
+
+let name = "raftos"
+let semantics = Sandtable.Spec_net.Udp
+let timeouts = [ "election", 1000; "heartbeat", 300 ]
+
+let spec = Raftos_spec.spec
+let boot ?bugs () = Raftos_impl.boot ?bugs ()
+
+let sut ?bugs ?cost scenario =
+  Common.sut ~timeouts ?cost ~semantics ~boot:(boot ?bugs ()) scenario
+
+let bundle ?bugs scenario : Sandtable.Workflow.bundle =
+  { bname = name;
+    spec = spec ?bugs ();
+    boot = (fun sc -> sut ?bugs sc);
+    mask = Common.conformance_mask;
+    scenario }
+
+let scenario_2n =
+  Scenario.v ~name:"raftos-2n" ~nodes:2 ~workload:[ 1; 2 ]
+    [ "timeouts", 5; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "drops", 1; "dups", 1; "buffer", 4 ]
+
+let scenario_3n =
+  Scenario.v ~name:"raftos-3n" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 4; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "drops", 1; "dups", 1; "buffer", 4 ]
+
+(* RaftOS#4's shape: an old-term entry below a current-term entry is
+   quorum-replicated after a crash/recovery re-election; the buggy
+   commitment loop stops at the old entry. No packet faults needed. *)
+let scenario_commit_loop =
+  Scenario.v ~name:"raftos-commit-loop" ~nodes:2 ~workload:[ 1; 2 ]
+    [ "timeouts", 5; "requests", 2; "crashes", 1; "restarts", 1;
+      "partitions", 0; "drops", 0; "dups", 0; "buffer", 3 ]
+
+let default_scenario = scenario_2n
+
+(* RaftOS synchronizes its asynchronous actions by sleeping (§5.3: ~4.8s per
+   31-event trace). *)
+let cost_profile =
+  Engine.Cost.profile ~init_ms:300. ~per_event_ms:30. ~async_sleep_ms:115. ()
+
+let all_flags = [ "raftos1"; "raftos2"; "raftos3"; "raftos4" ]
+
+let bugs : Bug.info list =
+  [ { id = "RaftOS#1";
+      system = name;
+      flags = [ "raftos1" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Match index is not monotonic";
+      invariant = Some "MatchIndexMonotonic";
+      scenario = scenario_2n;
+      paper_time = "5s";
+      paper_depth = Some 10;
+      paper_states = Some 60101 };
+    { id = "RaftOS#2";
+      system = name;
+      flags = [ "raftos2" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Incorrectly erasing log entries";
+      invariant = Some "CommitIndexWithinLog";
+      scenario = scenario_2n;
+      paper_time = "4s";
+      paper_depth = Some 9;
+      paper_states = Some 19455 };
+    { id = "RaftOS#3";
+      system = name;
+      flags = [ "raftos3" ];
+      stage = Bug.Conformance;
+      status = "New";
+      consequence = "Unhandled exception during receiving messages";
+      invariant = None;
+      scenario = scenario_2n;
+      paper_time = "-";
+      paper_depth = None;
+      paper_states = None };
+    { id = "RaftOS#4";
+      system = name;
+      flags = [ "raftos4" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Prematurely stopping checking commitment";
+      invariant = Some "CommitAdvancesWithQuorum";
+      scenario = scenario_commit_loop;
+      paper_time = "4min";
+      paper_depth = Some 14;
+      paper_states = Some 16938773 } ]

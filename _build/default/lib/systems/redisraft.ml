@@ -1,0 +1,45 @@
+(* RedisRaft integration (paper §4.2): a WRaft fork with the PreVote
+   extension, running over TCP semantics. The WRaft bugs #2/#4/#6/#9 were
+   fixed downstream and the paper found no additional RedisRaft-only bugs;
+   the fork is still checked independently (Tables 1, 3, 4). *)
+
+module Scenario = Sandtable.Scenario
+
+let name = "redisraft"
+let semantics = Sandtable.Spec_net.Tcp
+let prevote = true
+let compaction = false
+let timeouts = [ "election", 1000; "heartbeat", 200 ]
+
+let spec ?bugs () =
+  Wraft_family.spec ~name ~semantics ~prevote ~compaction ?bugs ()
+
+let boot ?bugs () = Wraft_family_impl.boot ?bugs ~prevote ~compaction ()
+
+let sut ?bugs ?cost scenario =
+  Common.sut ~timeouts ?cost ~semantics ~boot:(boot ?bugs ()) scenario
+
+let bundle ?bugs scenario : Sandtable.Workflow.bundle =
+  { bname = name;
+    spec = spec ?bugs ();
+    boot = (fun sc -> sut ?bugs sc);
+    mask = Common.conformance_mask;
+    scenario }
+
+let scenario_2n =
+  Scenario.v ~name:"redisraft-2n" ~nodes:2 ~workload:[ 1; 2 ]
+    [ "timeouts", 6; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "buffer", 4 ]
+
+let scenario_3n =
+  Scenario.v ~name:"redisraft-3n" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 5; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "buffer", 4 ]
+
+let default_scenario = scenario_2n
+
+let cost_profile =
+  Engine.Cost.profile ~init_ms:300. ~per_event_ms:33. ~async_sleep_ms:0. ()
+
+let all_flags : string list = []
+let bugs : Bug.info list = []

@@ -1,0 +1,286 @@
+(* WRaft integration (paper §4.2, Table 2 rows WRaft#1–#9).
+   WRaft makes no assumptions about the network, so the UDP failure model
+   applies: loss, duplication and out-of-order delivery. *)
+
+module Scenario = Sandtable.Scenario
+
+let name = "wraft"
+let semantics = Sandtable.Spec_net.Udp
+let prevote = false
+let compaction = true
+let timeouts = [ "election", 1000; "heartbeat", 200; "snapshot", 500 ]
+
+let spec ?bugs () =
+  Wraft_family.spec ~name ~semantics ~prevote ~compaction ?bugs ()
+
+let boot ?bugs () = Wraft_family_impl.boot ?bugs ~prevote ~compaction ()
+
+(* wraft6: rejected-append buffers leak; the fixed implementation keeps no
+   outstanding allocations between events, so any remainder is a leak. *)
+let leak_threshold = 60
+
+let leak_post cluster (_event : Sandtable.Trace.event) =
+  let cfg = Engine.Cluster.config cluster in
+  let rec check node =
+    if node >= cfg.Engine.Cluster.nodes then Ok ()
+    else if Engine.Cluster.allocated_bytes cluster node > leak_threshold then
+      Error
+        (Fmt.str "memory leak on %s: %d bytes outstanding"
+           (Sandtable.Trace.node_name node)
+           (Engine.Cluster.allocated_bytes cluster node))
+    else check (node + 1)
+  in
+  check 0
+
+let sut ?bugs ?cost scenario =
+  let post =
+    match bugs with
+    | Some fl when Bug.Flags.mem "wraft6" fl -> Some leak_post
+    | Some _ | None -> None
+  in
+  Common.sut ~timeouts ?cost ?post ~semantics ~boot:(boot ?bugs ()) scenario
+
+let bundle ?bugs scenario : Sandtable.Workflow.bundle =
+  { bname = name;
+    spec = spec ?bugs ();
+    boot = (fun sc -> sut ?bugs sc);
+    mask = Common.conformance_mask;
+    scenario }
+
+let scenario_2n =
+  Scenario.v ~name:"wraft-2n" ~nodes:2 ~workload:[ 1; 2 ]
+    [ "timeouts", 6; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "drops", 1; "dups", 1; "buffer", 4 ]
+
+let scenario_3n =
+  Scenario.v ~name:"wraft-3n" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 5; "requests", 3; "crashes", 1; "restarts", 1;
+      "partitions", 1; "drops", 1; "dups", 1; "buffer", 4 ]
+
+(* WRaft#1's shape: a deposed leader holds a conflicting first entry; the
+   new leader replicates two entries over it, and the skipped first-entry
+   conflict check leaves a divergent entry below an agreement point. *)
+let scenario_first_entry =
+  Scenario.v ~name:"wraft-first-entry" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 4; "requests", 3; "crashes", 0; "restarts", 0;
+      "partitions", 0; "drops", 0; "dups", 0; "buffer", 3 ]
+
+(* Fig. 7's shape: an old leader is partitioned away with an uncommitted
+   entry; the new leader commits and compacts, then heals and resyncs. UDP
+   packet faults are not needed and would widen the frontier enormously. *)
+let scenario_fig7 =
+  Scenario.v ~name:"wraft-fig7" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 5; "requests", 2; "crashes", 0; "restarts", 0;
+      "partitions", 1; "drops", 0; "dups", 0; "buffer", 3 ]
+
+(* WRaft#5's shape: a restarted node is re-elected with a longer persisted
+   log and must resync a lagging follower; the reject hint is ignored. *)
+let scenario_retry =
+  Scenario.v ~name:"wraft-retry" ~nodes:2 ~workload:[ 1 ]
+    [ "timeouts", 5; "requests", 1; "crashes", 1; "restarts", 1;
+      "partitions", 0; "drops", 0; "dups", 0; "buffer", 3 ]
+
+let default_scenario = scenario_2n
+
+let cost_profile =
+  Engine.Cost.profile ~init_ms:300. ~per_event_ms:47. ~async_sleep_ms:0. ()
+
+let all_flags =
+  [ "wraft1"; "wraft2"; "wraft3"; "wraft4"; "wraft5"; "wraft6"; "wraft7";
+    "wraft8"; "wraft9" ]
+
+let bugs : Bug.info list =
+  [ { id = "WRaft#1";
+      system = name;
+      flags = [ "wraft1" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Incorrectly appending log entries";
+      invariant = Some "LogMatching";
+      scenario = scenario_first_entry;
+      paper_time = "9min";
+      paper_depth = Some 22;
+      paper_states = Some 5954049 };
+    { id = "WRaft#2";
+      system = name;
+      flags = [ "wraft2" ];
+      stage = Bug.Verification;
+      status = "Old";
+      consequence = "Inconsistent committed log";
+      invariant = Some "CommittedLogConsistency";
+      scenario = scenario_fig7;
+      paper_time = "22min";
+      paper_depth = Some 20;
+      paper_states = Some 20955790 };
+    { id = "WRaft#3";
+      system = name;
+      flags = [ "wraft3" ];
+      stage = Bug.Conformance;
+      status = "New";
+      consequence = "Follower lagging behind until next snapshot";
+      invariant = None;
+      scenario = scenario_3n;
+      paper_time = "-";
+      paper_depth = None;
+      paper_states = None };
+    { id = "WRaft#4";
+      system = name;
+      flags = [ "wraft4" ];
+      stage = Bug.Verification;
+      status = "Old";
+      consequence = "Current term is not monotonic";
+      invariant = Some "TermMonotonic";
+      scenario = scenario_2n;
+      paper_time = "39min";
+      paper_depth = Some 23;
+      paper_states = Some 48338241 };
+    { id = "WRaft#5";
+      system = name;
+      flags = [ "wraft5" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Retry messages include empty logs";
+      invariant = Some "RetryNonEmpty";
+      scenario = scenario_retry;
+      paper_time = "11min";
+      paper_depth = Some 24;
+      paper_states = Some 10576917 };
+    { id = "WRaft#6";
+      system = name;
+      flags = [ "wraft6" ];
+      stage = Bug.Conformance;
+      status = "Old";
+      consequence = "Memory leak";
+      invariant = None;
+      scenario = scenario_3n;
+      paper_time = "-";
+      paper_depth = None;
+      paper_states = None };
+    { id = "WRaft#7";
+      system = name;
+      flags = [ "wraft7" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Next index <= match index";
+      invariant = Some "NextIndexGtMatchIndex";
+      scenario = scenario_2n;
+      paper_time = "8min";
+      paper_depth = Some 23;
+      paper_states = Some 7401586 };
+    { id = "WRaft#8";
+      system = name;
+      flags = [ "wraft8" ];
+      stage = Bug.Conformance;
+      status = "New";
+      consequence = "Prematurely stopping sending heartbeats";
+      invariant = None;
+      scenario = scenario_3n;
+      paper_time = "-";
+      paper_depth = None;
+      paper_states = None };
+    { id = "WRaft#9";
+      system = name;
+      flags = [ "wraft9" ];
+      stage = Bug.Modeling;
+      status = "Old";
+      consequence = "Cannot elect leaders due to incorrectly getting term";
+      invariant = None;
+      scenario = scenario_2n;
+      paper_time = "-";
+      paper_depth = None;
+      paper_states = None } ]
+
+(* The Fig. 7 reproduction script: the concrete event sequence (under
+   [wraft2], optionally with [wraft1]) that makes the new leader send an
+   AppendEntries instead of a snapshot after compaction, driving the old
+   leader to an inconsistent committed log. Used by tests, the CLI and the
+   figure benchmark; BFS also finds this violation given a paper-scale time
+   budget (§5.1: 22 min). *)
+let fig7_script =
+  let open Sandtable.Script in
+  [ (* n1 becomes leader of term 1 and accepts one request *)
+    timeout 0 "election";
+    deliver ~src:0 ~dst:1;
+    deliver ~src:1 ~dst:0;
+    client 0;
+    (* n1 is cut off with its uncommitted entry *)
+    partition [ 0 ];
+    (* n2 leads term 2, commits an entry with n3, and compacts *)
+    timeout 1 "election";
+    deliver ~src:1 ~dst:2;
+    deliver ~src:2 ~dst:1;
+    client 1;
+    timeout 1 "heartbeat";
+    deliver_msg ~src:1 ~dst:2 "AE(";
+    deliver_msg ~src:2 ~dst:1 "AER(";
+    timeout 1 "snapshot";
+    (* the healed n1 receives a bogus empty AppendEntries carrying the
+       commit index where a snapshot was due *)
+    heal;
+    timeout 1 "heartbeat";
+    deliver_msg ~src:1 ~dst:0 "AE(" ]
+
+let fig7_scenario = scenario_fig7
+
+(* Directed conformance schedules for the implementation-only bugs: replayed
+   with the fixed spec against the buggy implementation, the divergence is
+   the bug report (§3.2). Random conformance walks also find these given
+   longer budgets. *)
+let wraft6_scenario =
+  Scenario.v ~name:"wraft6" ~nodes:2 ~workload:[ 1 ]
+    [ "timeouts", 4; "requests", 1; "crashes", 1; "restarts", 1;
+      "partitions", 0; "drops", 0; "dups", 0; "buffer", 3 ]
+
+(* A restarted node is re-elected with a longer persisted log; its first
+   heartbeat is rejected by the empty follower — the rejected request's
+   buffer leaks. *)
+let wraft6_script =
+  let open Sandtable.Script in
+  [ timeout 0 "election";
+    deliver ~src:0 ~dst:1;
+    deliver ~src:1 ~dst:0;
+    client 0;
+    crash 0;
+    restart 0;
+    timeout 0 "election";
+    deliver ~src:0 ~dst:1;
+    deliver ~src:1 ~dst:0;
+    timeout 0 "heartbeat";
+    deliver_msg ~src:0 ~dst:1 "AE(" ]
+
+let wraft8_scenario =
+  Scenario.v ~name:"wraft8" ~nodes:3 ~workload:[ 1 ]
+    [ "timeouts", 3; "requests", 0; "crashes", 0; "restarts", 0;
+      "partitions", 1; "drops", 0; "dups", 0; "buffer", 4 ]
+
+(* The leader's heartbeat to the partitioned first peer fails; the buggy
+   broadcast loop stops there and the third node misses its heartbeat. *)
+let wraft8_script =
+  let open Sandtable.Script in
+  [ timeout 1 "election";
+    deliver ~src:1 ~dst:0;
+    deliver ~src:0 ~dst:1;
+    partition [ 0 ];
+    timeout 1 "heartbeat" ]
+
+let wraft3_scenario =
+  Scenario.v ~name:"wraft3" ~nodes:3 ~workload:[ 1 ]
+    [ "timeouts", 4; "requests", 1; "crashes", 0; "restarts", 0;
+      "partitions", 0; "drops", 1; "dups", 0; "buffer", 3 ]
+
+(* A follower holding an uncommitted entry receives the compacted leader's
+   snapshot: the spec installs it, the buggy implementation refuses. *)
+let wraft3_script =
+  let open Sandtable.Script in
+  [ timeout 0 "election";
+    deliver ~src:0 ~dst:1;
+    deliver ~src:1 ~dst:0;
+    client 0;
+    timeout 0 "heartbeat";
+    deliver_msg ~src:0 ~dst:1 "AE(";
+    deliver_msg ~src:0 ~dst:2 "AE(";
+    deliver_msg ~src:1 ~dst:0 "AER(";
+    drop ~src:2 ~dst:0;
+    timeout 0 "snapshot";
+    timeout 0 "heartbeat";
+    deliver_msg ~src:0 ~dst:2 "Snap(" ]

@@ -1,0 +1,449 @@
+(* Imperative re-implementation of the WRaft C library family, driven by the
+   deterministic execution engine. Mirrors {!Wraft_family} and adds the
+   implementation-only bugs of Table 2:
+
+     wraft3 — a snapshot is rejected whenever the follower's log is already
+              as long as the snapshot, even when its entries conflict
+     wraft6 — buffers allocated for rejected AppendEntries are never freed
+     wraft8 — the heartbeat broadcast loop stops at the first send failure *)
+
+open Raft_kernel
+module Syscall = Engine.Syscall
+
+type params = { prevote : bool; compaction : bool; bugs : Bug.Flags.t }
+
+type t = {
+  ctx : Syscall.t;
+  p : params;
+  mutable role : Types.role;
+  mutable current_term : int;
+  mutable voted_for : int option;
+  mutable votes : int list;
+  mutable prevotes : int list;
+  mutable log : Log.t;
+  mutable commit_index : int;
+  mutable next_index : int array;
+  mutable match_index : int array;
+  mutable retry_pending : bool array;
+}
+
+let has t flag = Bug.Flags.mem flag t.p.bugs
+
+(* --- persistence ------------------------------------------------------ *)
+
+let persist_all t =
+  t.ctx.persist_set "term" (string_of_int t.current_term);
+  t.ctx.persist_set "voted"
+    (match t.voted_for with None -> "-" | Some v -> string_of_int v);
+  let entries =
+    List.map (fun (_, (e : Types.entry)) -> e.term, e.value) (Log.entries t.log)
+  in
+  t.ctx.persist_set "log"
+    (Marshal.to_string
+       (Log.base_index t.log, Log.base_term t.log, entries)
+       [])
+
+let recover t =
+  Option.iter
+    (fun s -> t.current_term <- int_of_string s)
+    (t.ctx.persist_get "term");
+  Option.iter
+    (fun s -> t.voted_for <- (if s = "-" then None else Some (int_of_string s)))
+    (t.ctx.persist_get "voted");
+  Option.iter
+    (fun s ->
+      let base_index, base_term, entries =
+        (Marshal.from_string s 0 : int * int * (int * int) list)
+      in
+      let log =
+        List.fold_left
+          (fun log (term, value) -> Log.append log (Types.entry ~term ~value))
+          (Log.install_snapshot ~last_index:base_index ~last_term:base_term)
+          entries
+      in
+      t.log <- log)
+    (t.ctx.persist_get "log")
+
+(* --- helpers ---------------------------------------------------------- *)
+
+let log_state t =
+  t.ctx.log
+    (Fmt.str "STATE role=%s term=%d voted=%s commit=%d last=%d base=%d"
+       (Types.role_to_string t.role)
+       t.current_term
+       (match t.voted_for with None -> "-" | Some v -> string_of_int v)
+       t.commit_index (Log.last_index t.log) (Log.base_index t.log))
+
+let send t ~dst msg = t.ctx.send ~dst (Codec.encode msg)
+
+let broadcast t msg =
+  for dst = 0 to t.ctx.nodes - 1 do
+    if dst <> t.ctx.id then ignore (send t ~dst msg)
+  done
+
+let adopt_term t term =
+  if term > t.current_term then begin
+    t.current_term <- term;
+    t.role <- Types.Follower;
+    t.voted_for <- None;
+    t.votes <- [];
+    t.prevotes <- [];
+    persist_all t
+  end
+  else if has t "wraft4" && term < t.current_term then begin
+    t.current_term <- term;
+    persist_all t
+  end
+
+let step_down_if_higher t term =
+  if term > t.current_term then begin
+    t.current_term <- term;
+    t.role <- Types.Follower;
+    t.voted_for <- None;
+    t.votes <- [];
+    t.prevotes <- [];
+    persist_all t
+  end
+
+let advertised_last_term t =
+  if has t "wraft9" then 0 else Log.last_term t.log
+
+let up_to_date t ~last_log_term ~last_log_index =
+  last_log_term > Log.last_term t.log
+  || (last_log_term = Log.last_term t.log
+     && last_log_index >= Log.last_index t.log)
+
+let quorum_match t =
+  let n = t.ctx.nodes in
+  let replicated =
+    List.init n (fun j ->
+        if j = t.ctx.id then Log.last_index t.log else t.match_index.(j))
+  in
+  List.nth
+    (List.sort (fun a b -> Int.compare b a) replicated)
+    (Types.quorum n - 1)
+
+let advance_commit t =
+  let candidate = quorum_match t in
+  let candidate =
+    if
+      candidate > t.commit_index
+      && Log.term_at t.log candidate <> Some t.current_term
+      && Log.term_at t.log candidate <> None
+    then t.commit_index
+    else candidate
+  in
+  t.commit_index <- max t.commit_index candidate
+
+let become_leader t =
+  let n = t.ctx.nodes in
+  t.role <- Types.Leader;
+  t.next_index <- Array.make n (Log.last_index t.log + 1);
+  t.match_index <- Array.make n 0;
+  t.retry_pending <- Array.make n false
+
+let start_election t =
+  t.role <- Types.Candidate;
+  t.current_term <- t.current_term + 1;
+  t.voted_for <- Some t.ctx.id;
+  t.votes <- [ t.ctx.id ];
+  t.prevotes <- [];
+  persist_all t;
+  if Types.is_quorum 1 ~nodes:t.ctx.nodes then become_leader t;
+  broadcast t
+    (Msg.Request_vote
+       { term = t.current_term;
+         last_log_index = Log.last_index t.log;
+         last_log_term = advertised_last_term t;
+         prevote = false })
+
+let start_prevote t =
+  t.prevotes <- [ t.ctx.id ];
+  if Types.is_quorum 1 ~nodes:t.ctx.nodes then start_election t
+  else
+    broadcast t
+      (Msg.Request_vote
+         { term = t.current_term + 1;
+           last_log_index = Log.last_index t.log;
+           last_log_term = advertised_last_term t;
+           prevote = true })
+
+(* --- replication ------------------------------------------------------ *)
+
+let append_entries_to t peer =
+  let next = t.next_index.(peer) in
+  if t.p.compaction && next <= Log.base_index t.log && not (has t "wraft2")
+  then
+    send t ~dst:peer
+      (Msg.Snapshot
+         { term = t.current_term;
+           last_index = Log.base_index t.log;
+           last_term = Log.base_term t.log })
+  else begin
+    let prev_index = next - 1 in
+    let prev_term = Option.value (Log.term_at t.log prev_index) ~default:0 in
+    let entries = Log.entries_from t.log next in
+    t.retry_pending.(peer) <- false;
+    send t ~dst:peer
+      (Msg.Append_entries
+         { term = t.current_term;
+           prev_index;
+           prev_term;
+           entries;
+           commit = t.commit_index })
+  end
+
+let on_heartbeat t =
+  if t.role = Types.Leader then begin
+    let stop = ref false in
+    for peer = 0 to t.ctx.nodes - 1 do
+      if peer <> t.ctx.id && not !stop then
+        if not (append_entries_to t peer) && has t "wraft8" then
+          (* wraft8: a send failure aborts the rest of the broadcast *)
+          stop := true
+    done
+  end
+
+let store_entries t ~prev_index entries =
+  let idx = ref (prev_index + 1) in
+  List.iter
+    (fun (e : Types.entry) ->
+      (match Log.term_at t.log !idx with
+      | Some term when term = e.term -> ()
+      | Some _ when !idx = 1 && has t "wraft1" -> ()
+      | Some _ -> t.log <- Log.append (Log.truncate_from t.log !idx) e
+      | None -> t.log <- Log.append t.log e);
+      incr idx)
+    entries;
+  persist_all t
+
+let handle_append_entries t ~src ~term ~prev_index ~prev_term ~entries ~commit
+    =
+  step_down_if_higher t term;
+  if term < t.current_term then
+    ignore
+      (send t ~dst:src
+         (Msg.Append_reply
+            { term = t.current_term;
+              success = false;
+              next_hint = Log.last_index t.log + 1 }))
+  else begin
+    t.role <- Types.Follower;
+    if Log.matches t.log ~prev_index ~prev_term then begin
+      store_entries t ~prev_index entries;
+      t.commit_index <-
+        max t.commit_index (min commit (Log.last_index t.log));
+      ignore
+        (send t ~dst:src
+           (Msg.Append_reply
+              { term = t.current_term;
+                success = true;
+                next_hint = prev_index + List.length entries + 1 }))
+    end
+    else begin
+      if has t "wraft6" then
+        (* the rejected request's buffer is never released *)
+        t.ctx.alloc (64 + (16 * List.length entries));
+      ignore
+        (send t ~dst:src
+           (Msg.Append_reply
+              { term = t.current_term;
+                success = false;
+                next_hint = min prev_index (Log.last_index t.log + 1) }))
+    end
+  end
+
+let handle_append_reply t ~src ~term ~success ~next_hint =
+  step_down_if_higher t term;
+  if t.role = Types.Leader && term >= t.current_term then
+    if success then begin
+      let new_match = max t.match_index.(src) (next_hint - 1) in
+      let new_next =
+        if has t "wraft7" then next_hint else max next_hint (new_match + 1)
+      in
+      t.match_index.(src) <- new_match;
+      t.next_index.(src) <- max 1 new_next;
+      advance_commit t
+    end
+    else begin
+      t.next_index.(src) <-
+        (if has t "wraft5" then t.next_index.(src)
+         else if has t "wraft7" then next_hint
+         else max next_hint (t.match_index.(src) + 1));
+      t.retry_pending.(src) <- true
+    end
+
+let handle_snapshot t ~src ~term ~last_index ~last_term =
+  step_down_if_higher t term;
+  if term < t.current_term then
+    ignore
+      (send t ~dst:src
+         (Msg.Snapshot_reply
+            { term = t.current_term;
+              success = false;
+              next_hint = Log.last_index t.log + 1 }))
+  else begin
+    t.role <- Types.Follower;
+    let reject_due_to_length =
+      (* wraft3: the follower refuses the snapshot because it holds log
+         entries past its commit point, ignoring that they may conflict
+         with (or lag behind) the snapshot *)
+      has t "wraft3" && Log.last_index t.log > t.commit_index
+    in
+    if last_index > t.commit_index && not reject_due_to_length then begin
+      t.log <- Log.install_snapshot ~last_index ~last_term;
+      t.commit_index <- last_index;
+      persist_all t
+    end;
+    if reject_due_to_length then
+      ignore
+        (send t ~dst:src
+           (Msg.Snapshot_reply
+              { term = t.current_term;
+                success = false;
+                next_hint = Log.last_index t.log + 1 }))
+    else
+      ignore
+        (send t ~dst:src
+           (Msg.Snapshot_reply
+              { term = t.current_term;
+                success = true;
+                next_hint = last_index + 1 }))
+  end
+
+let handle_snapshot_reply t ~src ~term ~success ~next_hint =
+  step_down_if_higher t term;
+  if t.role = Types.Leader && term >= t.current_term && success then begin
+    t.next_index.(src) <- next_hint;
+    t.match_index.(src) <- max t.match_index.(src) (next_hint - 1)
+  end
+
+(* --- votes ------------------------------------------------------------ *)
+
+let handle_prevote_request t ~src ~term ~last_log_index ~last_log_term =
+  let leader_refuses = t.role = Types.Leader && not (has t "daos1") in
+  let grant =
+    (not leader_refuses)
+    && term > t.current_term
+    && up_to_date t ~last_log_term ~last_log_index
+  in
+  ignore (send t ~dst:src (Msg.Vote { term; granted = grant; prevote = true }))
+
+let handle_vote_request t ~src ~term ~last_log_index ~last_log_term =
+  adopt_term t term;
+  let grant =
+    term = t.current_term
+    && (t.voted_for = None || t.voted_for = Some src)
+    && up_to_date t ~last_log_term ~last_log_index
+  in
+  if grant then begin
+    t.voted_for <- Some src;
+    persist_all t
+  end;
+  ignore
+    (send t ~dst:src
+       (Msg.Vote { term = t.current_term; granted = grant; prevote = false }))
+
+let handle_prevote_reply t ~src ~term ~granted =
+  if
+    granted && t.role <> Types.Leader && t.prevotes <> []
+    && term = t.current_term + 1
+    && not (List.mem src t.prevotes)
+  then begin
+    t.prevotes <- List.sort Int.compare (src :: t.prevotes);
+    if Types.is_quorum (List.length t.prevotes) ~nodes:t.ctx.nodes then
+      start_election t
+  end
+
+let handle_vote_reply t ~src ~term ~granted =
+  step_down_if_higher t term;
+  if
+    t.role = Types.Candidate && term = t.current_term && granted
+    && not (List.mem src t.votes)
+  then begin
+    t.votes <- List.sort Int.compare (src :: t.votes);
+    if Types.is_quorum (List.length t.votes) ~nodes:t.ctx.nodes then
+      become_leader t
+  end
+
+(* --- the engine-facing handle ----------------------------------------- *)
+
+let view t : View.t =
+  { alive = true;
+    role = t.role;
+    current_term = t.current_term;
+    voted_for = t.voted_for;
+    log = t.log;
+    commit_index = t.commit_index;
+    next_index = t.next_index;
+    match_index = t.match_index }
+
+let handle_message t ~src payload =
+  (match Codec.decode payload with
+  | Msg.Request_vote { term; last_log_index; last_log_term; prevote = true } ->
+    handle_prevote_request t ~src ~term ~last_log_index ~last_log_term
+  | Msg.Request_vote { term; last_log_index; last_log_term; prevote = false }
+    ->
+    handle_vote_request t ~src ~term ~last_log_index ~last_log_term
+  | Msg.Vote { term; granted; prevote = true } ->
+    handle_prevote_reply t ~src ~term ~granted
+  | Msg.Vote { term; granted; prevote = false } ->
+    handle_vote_reply t ~src ~term ~granted
+  | Msg.Append_entries { term; prev_index; prev_term; entries; commit } ->
+    handle_append_entries t ~src ~term ~prev_index ~prev_term ~entries ~commit
+  | Msg.Append_reply { term; success; next_hint } ->
+    handle_append_reply t ~src ~term ~success ~next_hint
+  | Msg.Snapshot { term; last_index; last_term } ->
+    handle_snapshot t ~src ~term ~last_index ~last_term
+  | Msg.Snapshot_reply { term; success; next_hint } ->
+    handle_snapshot_reply t ~src ~term ~success ~next_hint);
+  log_state t
+
+let on_timeout t ~kind =
+  (match kind with
+  | "election" ->
+    if t.role <> Types.Leader then
+      if t.p.prevote then start_prevote t else start_election t
+  | "heartbeat" -> on_heartbeat t
+  | "snapshot" ->
+    if t.p.compaction && t.commit_index > Log.base_index t.log then begin
+      t.log <- Log.compact_to t.log t.commit_index;
+      persist_all t
+    end
+  | other -> failwith ("wraft: unknown timeout kind " ^ other));
+  log_state t
+
+let on_client t ~op =
+  (match String.split_on_char ':' op with
+  | [ "put"; v ] when t.role = Types.Leader ->
+    t.log <-
+      Log.append t.log
+        (Types.entry ~term:t.current_term ~value:(int_of_string v));
+    persist_all t;
+    advance_commit t
+  | _ -> ());
+  log_state t
+
+let boot ?(bugs = Bug.Flags.empty) ~prevote ~compaction () : Syscall.boot =
+ fun ctx ->
+  let n = ctx.nodes in
+  let t =
+    { ctx;
+      p = { prevote; compaction; bugs };
+      role = Types.Follower;
+      current_term = 0;
+      voted_for = None;
+      votes = [];
+      prevotes = [];
+      log = Log.empty;
+      commit_index = 0;
+      next_index = Array.make n 1;
+      match_index = Array.make n 0;
+      retry_pending = Array.make n false }
+  in
+  recover t;
+  log_state t;
+  { Syscall.handle_message = handle_message t;
+    on_timeout = on_timeout t;
+    on_client = on_client t;
+    observe = (fun () -> View.observe (view t)) }

@@ -1,0 +1,343 @@
+(* Imperative re-implementation of the Xraft family (Xraft and the Xraft-KV
+   store). Mirrors {!Xraft_family}; the client-side linearizability history
+   is a spec-only oracle and has no implementation counterpart, so it is
+   excluded from conformance comparison by the mask.
+
+   Implementation-only bug (Table 2):
+     xraft2 — a stale granted vote arriving at a node that already leads
+              races with the replication task over the member list and
+              throws (ConcurrentModificationException). *)
+
+open Raft_kernel
+module Syscall = Engine.Syscall
+
+type params = { prevote : bool; kv : bool; bugs : Bug.Flags.t }
+
+type t = {
+  ctx : Syscall.t;
+  p : params;
+  mutable role : Types.role;
+  mutable current_term : int;
+  mutable voted_for : int option;
+  mutable votes : int list;
+  mutable prevotes : int list;
+  mutable log : Log.t;
+  mutable commit_index : int;
+  mutable next_index : int array;
+  mutable match_index : int array;
+}
+
+let has t flag = Bug.Flags.mem flag t.p.bugs
+let read_marker = Xraft_family.read_marker
+
+let persist_all t =
+  t.ctx.persist_set "term" (string_of_int t.current_term);
+  t.ctx.persist_set "voted"
+    (match t.voted_for with None -> "-" | Some v -> string_of_int v);
+  let entries =
+    List.map (fun (_, (e : Types.entry)) -> e.term, e.value) (Log.entries t.log)
+  in
+  t.ctx.persist_set "log" (Marshal.to_string entries [])
+
+let recover t =
+  Option.iter
+    (fun s -> t.current_term <- int_of_string s)
+    (t.ctx.persist_get "term");
+  Option.iter
+    (fun s -> t.voted_for <- (if s = "-" then None else Some (int_of_string s)))
+    (t.ctx.persist_get "voted");
+  Option.iter
+    (fun s ->
+      let entries = (Marshal.from_string s 0 : (int * int) list) in
+      t.log <-
+        Log.of_entries
+          (List.map (fun (term, value) -> Types.entry ~term ~value) entries))
+    (t.ctx.persist_get "log")
+
+let log_state t =
+  t.ctx.log
+    (Fmt.str "STATE role=%s term=%d voted=%s commit=%d last=%d"
+       (Types.role_to_string t.role)
+       t.current_term
+       (match t.voted_for with None -> "-" | Some v -> string_of_int v)
+       t.commit_index (Log.last_index t.log))
+
+let send t ~dst msg = ignore (t.ctx.send ~dst (Codec.encode msg))
+
+let broadcast t msg =
+  for dst = 0 to t.ctx.nodes - 1 do
+    if dst <> t.ctx.id then send t ~dst msg
+  done
+
+let step_down t term =
+  if term > t.current_term then begin
+    t.current_term <- term;
+    t.role <- Types.Follower;
+    t.voted_for <- None;
+    t.votes <- [];
+    t.prevotes <- [];
+    persist_all t
+  end
+
+let up_to_date t ~last_log_term ~last_log_index =
+  last_log_term > Log.last_term t.log
+  || (last_log_term = Log.last_term t.log
+     && last_log_index >= Log.last_index t.log)
+
+let quorum_match t =
+  let n = t.ctx.nodes in
+  let replicated =
+    List.init n (fun j ->
+        if j = t.ctx.id then Log.last_index t.log else t.match_index.(j))
+  in
+  List.nth
+    (List.sort (fun a b -> Int.compare b a) replicated)
+    (Types.quorum n - 1)
+
+let advance_commit t =
+  let candidate = quorum_match t in
+  let candidate =
+    if
+      candidate > t.commit_index
+      && Log.term_at t.log candidate <> Some t.current_term
+      && Log.term_at t.log candidate <> None
+    then t.commit_index
+    else candidate
+  in
+  t.commit_index <- max t.commit_index candidate
+
+let become_leader t =
+  let n = t.ctx.nodes in
+  t.role <- Types.Leader;
+  t.next_index <- Array.make n (Log.last_index t.log + 1);
+  t.match_index <- Array.make n 0
+
+let start_election t =
+  t.role <- Types.Candidate;
+  t.current_term <- t.current_term + 1;
+  t.voted_for <- Some t.ctx.id;
+  t.votes <- [ t.ctx.id ];
+  t.prevotes <- [];
+  persist_all t;
+  if Types.is_quorum 1 ~nodes:t.ctx.nodes then become_leader t;
+  broadcast t
+    (Msg.Request_vote
+       { term = t.current_term;
+         last_log_index = Log.last_index t.log;
+         last_log_term = Log.last_term t.log;
+         prevote = false })
+
+let start_prevote t =
+  t.prevotes <- [ t.ctx.id ];
+  if Types.is_quorum 1 ~nodes:t.ctx.nodes then start_election t
+  else
+    broadcast t
+      (Msg.Request_vote
+         { term = t.current_term + 1;
+           last_log_index = Log.last_index t.log;
+           last_log_term = Log.last_term t.log;
+           prevote = true })
+
+let on_heartbeat t =
+  if t.role = Types.Leader then
+    for peer = 0 to t.ctx.nodes - 1 do
+      if peer <> t.ctx.id then begin
+        let next = t.next_index.(peer) in
+        let prev_index = next - 1 in
+        let prev_term =
+          Option.value (Log.term_at t.log prev_index) ~default:0
+        in
+        send t ~dst:peer
+          (Msg.Append_entries
+             { term = t.current_term;
+               prev_index;
+               prev_term;
+               entries = Log.entries_from t.log next;
+               commit = t.commit_index })
+      end
+    done
+
+let handle_prevote_request t ~src ~term ~last_log_index ~last_log_term =
+  let grant =
+    t.role <> Types.Leader
+    && term > t.current_term
+    && up_to_date t ~last_log_term ~last_log_index
+  in
+  send t ~dst:src (Msg.Vote { term; granted = grant; prevote = true })
+
+let handle_vote_request t ~src ~term ~last_log_index ~last_log_term =
+  step_down t term;
+  let grant =
+    term = t.current_term
+    && (t.voted_for = None || t.voted_for = Some src)
+    && up_to_date t ~last_log_term ~last_log_index
+  in
+  if grant then begin
+    t.voted_for <- Some src;
+    persist_all t
+  end;
+  send t ~dst:src
+    (Msg.Vote { term = t.current_term; granted = grant; prevote = false })
+
+let handle_prevote_reply t ~src ~term ~granted =
+  if
+    (granted || has t "xraft1")
+    && t.role <> Types.Leader && t.prevotes <> []
+    && term = t.current_term + 1
+    && not (List.mem src t.prevotes)
+  then begin
+    t.prevotes <- List.sort Int.compare (src :: t.prevotes);
+    if Types.is_quorum (List.length t.prevotes) ~nodes:t.ctx.nodes then
+      start_election t
+  end
+
+let handle_vote_reply t ~src ~term ~granted =
+  step_down t term;
+  if t.role = Types.Leader && granted && has t "xraft2" then
+    failwith "java.util.ConcurrentModificationException";
+  let term_ok = has t "xraft1" || term = t.current_term in
+  if
+    t.role = Types.Candidate && term_ok
+    && (granted || has t "xraft1")
+    && not (List.mem src t.votes)
+  then begin
+    t.votes <- List.sort Int.compare (src :: t.votes);
+    if Types.is_quorum (List.length t.votes) ~nodes:t.ctx.nodes then
+      become_leader t
+  end
+
+let store_entries t ~prev_index entries =
+  let idx = ref (prev_index + 1) in
+  List.iter
+    (fun (e : Types.entry) ->
+      (match Log.term_at t.log !idx with
+      | Some term when term = e.term -> ()
+      | Some _ -> t.log <- Log.append (Log.truncate_from t.log !idx) e
+      | None -> t.log <- Log.append t.log e);
+      incr idx)
+    entries;
+  persist_all t
+
+let handle_append_entries t ~src ~term ~prev_index ~prev_term ~entries ~commit
+    =
+  step_down t term;
+  if term < t.current_term then
+    send t ~dst:src
+      (Msg.Append_reply
+         { term = t.current_term;
+           success = false;
+           next_hint = Log.last_index t.log + 1 })
+  else begin
+    t.role <- Types.Follower;
+    if Log.matches t.log ~prev_index ~prev_term then begin
+      store_entries t ~prev_index entries;
+      t.commit_index <-
+        max t.commit_index (min commit (Log.last_index t.log));
+      send t ~dst:src
+        (Msg.Append_reply
+           { term = t.current_term;
+             success = true;
+             next_hint = prev_index + List.length entries + 1 })
+    end
+    else
+      send t ~dst:src
+        (Msg.Append_reply
+           { term = t.current_term;
+             success = false;
+             next_hint = min prev_index (Log.last_index t.log + 1) })
+  end
+
+let handle_append_reply t ~src ~term ~success ~next_hint =
+  step_down t term;
+  if t.role = Types.Leader && term >= t.current_term then
+    if success then begin
+      let new_match = max t.match_index.(src) (next_hint - 1) in
+      t.match_index.(src) <- new_match;
+      t.next_index.(src) <- max next_hint (new_match + 1);
+      advance_commit t
+    end
+    else
+      t.next_index.(src) <- max next_hint (t.match_index.(src) + 1)
+
+let view t : View.t =
+  { alive = true;
+    role = t.role;
+    current_term = t.current_term;
+    voted_for = t.voted_for;
+    log = t.log;
+    commit_index = t.commit_index;
+    next_index = t.next_index;
+    match_index = t.match_index }
+
+let handle_message t ~src payload =
+  (match Codec.decode payload with
+  | Msg.Request_vote { term; last_log_index; last_log_term; prevote = true }
+    ->
+    handle_prevote_request t ~src ~term ~last_log_index ~last_log_term
+  | Msg.Request_vote { term; last_log_index; last_log_term; prevote = false }
+    ->
+    handle_vote_request t ~src ~term ~last_log_index ~last_log_term
+  | Msg.Vote { term; granted; prevote = true } ->
+    handle_prevote_reply t ~src ~term ~granted
+  | Msg.Vote { term; granted; prevote = false } ->
+    handle_vote_reply t ~src ~term ~granted
+  | Msg.Append_entries { term; prev_index; prev_term; entries; commit } ->
+    handle_append_entries t ~src ~term ~prev_index ~prev_term ~entries ~commit
+  | Msg.Append_reply { term; success; next_hint } ->
+    handle_append_reply t ~src ~term ~success ~next_hint
+  | Msg.Snapshot _ | Msg.Snapshot_reply _ ->
+    failwith "xraft: unexpected snapshot message");
+  log_state t
+
+let on_timeout t ~kind =
+  (match kind with
+  | "election" ->
+    if t.role <> Types.Leader then
+      if t.p.prevote then start_prevote t else start_election t
+  | "heartbeat" -> on_heartbeat t
+  | other -> failwith ("xraft: unknown timeout kind " ^ other));
+  log_state t
+
+let on_client t ~op =
+  (match String.split_on_char ':' op with
+  | [ "put"; v ] when t.role = Types.Leader ->
+    t.log <-
+      Log.append t.log
+        (Types.entry ~term:t.current_term ~value:(int_of_string v));
+    persist_all t;
+    advance_commit t
+  | [ "get" ] when t.p.kv && t.role = Types.Leader ->
+    if has t "xkv1" then
+      (* answered locally; nothing changes in the replicated state *)
+      ()
+    else begin
+      t.log <-
+        Log.append t.log (Types.entry ~term:t.current_term ~value:read_marker);
+      persist_all t;
+      advance_commit t
+    end
+  | _ -> ());
+  log_state t
+
+let boot ?(bugs = Bug.Flags.empty) ~prevote ~kv () : Syscall.boot =
+ fun ctx ->
+  let n = ctx.nodes in
+  let t =
+    { ctx;
+      p = { prevote; kv; bugs };
+      role = Types.Follower;
+      current_term = 0;
+      voted_for = None;
+      votes = [];
+      prevotes = [];
+      log = Log.empty;
+      commit_index = 0;
+      next_index = Array.make n 1;
+      match_index = Array.make n 0 }
+  in
+  recover t;
+  log_state t;
+  { Syscall.handle_message = handle_message t;
+    on_timeout = on_timeout t;
+    on_client = on_client t;
+    observe = (fun () -> View.observe (view t)) }

@@ -1,0 +1,53 @@
+(* Xraft-KV integration (paper §4.2, Table 2 row Xraft-KV#1): the
+   distributed key-value store built on Xraft, modelled without PreVote and
+   with Put/Get client operations and a linearizability oracle.
+
+   The spec-side client history ("history" in the observation) is an
+   auxiliary oracle with no implementation counterpart; the conformance mask
+   already restricts comparison to the replicated node and network state. *)
+
+module Scenario = Sandtable.Scenario
+
+let name = "xraft-kv"
+let prevote = false
+let kv = true
+let semantics = Sandtable.Spec_net.Tcp
+let timeouts = [ "election", 3000; "heartbeat", 1000 ]
+
+let spec ?bugs () = Xraft_family.spec ~name ~prevote ~kv ?bugs ()
+let boot ?bugs () = Xraft_family_impl.boot ?bugs ~prevote ~kv ()
+
+let sut ?bugs ?cost scenario =
+  Common.sut ~timeouts ?cost ~semantics ~boot:(boot ?bugs ()) scenario
+
+let bundle ?bugs scenario : Sandtable.Workflow.bundle =
+  { bname = name;
+    spec = spec ?bugs ();
+    boot = (fun sc -> sut ?bugs sc);
+    mask = Common.conformance_mask;
+    scenario }
+
+let scenario_3n =
+  Scenario.v ~name:"xraft-kv-3n" ~nodes:3 ~workload:[ 1; 2 ]
+    [ "timeouts", 4; "requests", 3; "crashes", 0; "restarts", 0;
+      "partitions", 1; "buffer", 4 ]
+
+let default_scenario = scenario_3n
+
+let cost_profile =
+  Engine.Cost.profile ~init_ms:5000. ~per_event_ms:30. ~async_sleep_ms:480. ()
+
+let all_flags = [ "xkv1" ]
+
+let bugs : Bug.info list =
+  [ { id = "Xraft-KV#1";
+      system = name;
+      flags = [ "xkv1" ];
+      stage = Bug.Verification;
+      status = "New";
+      consequence = "Read operations do not satisfy linearizability";
+      invariant = Some "Linearizability";
+      scenario = scenario_3n;
+      paper_time = "15s";
+      paper_depth = Some 10;
+      paper_states = Some 124409 } ]

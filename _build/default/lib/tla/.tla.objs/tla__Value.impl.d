@@ -1,0 +1,1 @@
+lib/tla/value.ml: Bool Fmt Int List Printf String

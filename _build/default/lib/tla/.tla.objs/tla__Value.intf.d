@@ -1,0 +1,1 @@
+lib/tla/value.mli: Format

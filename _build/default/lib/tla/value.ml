@@ -1,0 +1,203 @@
+type t =
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Set of t list
+  | Seq of t list
+  | Record of (string * t) list
+  | Map of (t * t) list
+
+let bool b = Bool b
+let int i = Int i
+let str s = Str s
+
+(* Constructor tag order defines a total order across differently-shaped
+   values so that heterogeneous sets still sort deterministically. *)
+let tag = function
+  | Bool _ -> 0
+  | Int _ -> 1
+  | Str _ -> 2
+  | Set _ -> 3
+  | Seq _ -> 4
+  | Record _ -> 5
+  | Map _ -> 6
+
+let rec compare a b =
+  match a, b with
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Set x, Set y | Seq x, Seq y -> compare_list x y
+  | Record x, Record y -> compare_fields x y
+  | Map x, Map y -> compare_bindings x y
+  | _ -> Int.compare (tag a) (tag b)
+
+and compare_list x y =
+  match x, y with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: x', b :: y' ->
+    let c = compare a b in
+    if c <> 0 then c else compare_list x' y'
+
+and compare_fields x y =
+  match x, y with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (na, va) :: x', (nb, vb) :: y' ->
+    let c = String.compare na nb in
+    if c <> 0 then c
+    else
+      let c = compare va vb in
+      if c <> 0 then c else compare_fields x' y'
+
+and compare_bindings x y =
+  match x, y with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (ka, va) :: x', (kb, vb) :: y' ->
+    let c = compare ka kb in
+    if c <> 0 then c
+    else
+      let c = compare va vb in
+      if c <> 0 then c else compare_bindings x' y'
+
+let equal a b = compare a b = 0
+
+let rec dedup_sorted = function
+  | a :: (b :: _ as rest) when compare a b = 0 -> dedup_sorted rest
+  | a :: rest -> a :: dedup_sorted rest
+  | [] -> []
+
+let set vs = Set (dedup_sorted (List.sort compare vs))
+let seq vs = Seq vs
+
+let check_no_dup_names fields =
+  let names = List.map fst fields in
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: b :: _ when String.equal a b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  match dup sorted with
+  | Some n -> invalid_arg ("Value.record: duplicate field " ^ n)
+  | None -> ()
+
+let record fields =
+  check_no_dup_names fields;
+  Record (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+
+let map bindings =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) bindings in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _) when compare a b = 0 -> true
+    | _ :: rest -> dup rest
+    | [] -> false
+  in
+  if dup sorted then invalid_arg "Value.map: duplicate key";
+  Map sorted
+
+let rec pp ppf = function
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.pf ppf "%S" s
+  | Set vs -> Fmt.pf ppf "{@[%a@]}" Fmt.(list ~sep:(any ", ") pp) vs
+  | Seq vs -> Fmt.pf ppf "<<@[%a@]>>" Fmt.(list ~sep:(any ", ") pp) vs
+  | Record fs ->
+    let pp_field ppf (n, v) = Fmt.pf ppf "%s |-> %a" n pp v in
+    Fmt.pf ppf "[@[%a@]]" Fmt.(list ~sep:(any ", ") pp_field) fs
+  | Map bs ->
+    let pp_binding ppf (k, v) = Fmt.pf ppf "%a :> %a" pp k pp v in
+    Fmt.pf ppf "(@[%a@])" Fmt.(list ~sep:(any ", ") pp_binding) bs
+
+let to_string v = Fmt.str "%a" pp v
+
+let field v name =
+  match v with
+  | Record fs -> List.assoc_opt name fs
+  | Bool _ | Int _ | Str _ | Set _ | Seq _ | Map _ -> None
+
+let find m k =
+  match m with
+  | Map bs -> List.find_map (fun (k', v) -> if equal k k' then Some v else None) bs
+  | Bool _ | Int _ | Str _ | Set _ | Seq _ | Record _ -> None
+
+type diff = { path : string; expected : t option; actual : t option }
+
+let pp_side ppf = function
+  | None -> Fmt.string ppf "<absent>"
+  | Some v -> pp ppf v
+
+let pp_diff ppf d =
+  Fmt.pf ppf "@[%s:@ expected %a,@ actual %a@]" d.path pp_side d.expected
+    pp_side d.actual
+
+let leaf path expected actual = { path; expected; actual }
+
+let rec diff_at path ~expected ~actual acc =
+  match expected, actual with
+  | Record efs, Record afs -> diff_fields path efs afs acc
+  | Map ebs, Map abs_ -> diff_bindings path ebs abs_ acc
+  | Seq evs, Seq avs -> diff_indexed path 0 evs avs acc
+  | Set _, Set _ | Bool _, Bool _ | Int _, Int _ | Str _, Str _ ->
+    if equal expected actual then acc
+    else leaf path (Some expected) (Some actual) :: acc
+  | _ ->
+    if equal expected actual then acc
+    else leaf path (Some expected) (Some actual) :: acc
+
+and diff_fields path efs afs acc =
+  (* Both field lists are sorted by construction; merge-walk them. *)
+  match efs, afs with
+  | [], [] -> acc
+  | (n, v) :: efs', [] ->
+    diff_fields path efs' [] (leaf (path ^ "." ^ n) (Some v) None :: acc)
+  | [], (n, v) :: afs' ->
+    diff_fields path [] afs' (leaf (path ^ "." ^ n) None (Some v) :: acc)
+  | (ne, ve) :: efs', (na, va) :: afs' ->
+    let c = String.compare ne na in
+    if c = 0 then
+      diff_fields path efs' afs' (diff_at (path ^ "." ^ ne) ~expected:ve ~actual:va acc)
+    else if c < 0 then
+      diff_fields path efs' afs (leaf (path ^ "." ^ ne) (Some ve) None :: acc)
+    else diff_fields path efs afs' (leaf (path ^ "." ^ na) None (Some va) :: acc)
+
+and diff_bindings path ebs abs_ acc =
+  match ebs, abs_ with
+  | [], [] -> acc
+  | (k, v) :: ebs', [] ->
+    let p = path ^ "[" ^ to_string k ^ "]" in
+    diff_bindings path ebs' [] (leaf p (Some v) None :: acc)
+  | [], (k, v) :: abs' ->
+    let p = path ^ "[" ^ to_string k ^ "]" in
+    diff_bindings path [] abs' (leaf p None (Some v) :: acc)
+  | (ke, ve) :: ebs', (ka, va) :: abs' ->
+    let c = compare ke ka in
+    if c = 0 then
+      let p = path ^ "[" ^ to_string ke ^ "]" in
+      diff_bindings path ebs' abs' (diff_at p ~expected:ve ~actual:va acc)
+    else if c < 0 then
+      let p = path ^ "[" ^ to_string ke ^ "]" in
+      diff_bindings path ebs' abs_ (leaf p (Some ve) None :: acc)
+    else
+      let p = path ^ "[" ^ to_string ka ^ "]" in
+      diff_bindings path ebs abs' (leaf p None (Some va) :: acc)
+
+and diff_indexed path i evs avs acc =
+  match evs, avs with
+  | [], [] -> acc
+  | v :: evs', [] ->
+    let p = Printf.sprintf "%s[%d]" path i in
+    diff_indexed path (i + 1) evs' [] (leaf p (Some v) None :: acc)
+  | [], v :: avs' ->
+    let p = Printf.sprintf "%s[%d]" path i in
+    diff_indexed path (i + 1) [] avs' (leaf p None (Some v) :: acc)
+  | ve :: evs', va :: avs' ->
+    let p = Printf.sprintf "%s[%d]" path i in
+    diff_indexed path (i + 1) evs' avs' (diff_at p ~expected:ve ~actual:va acc)
+
+let diff ~expected ~actual = List.rev (diff_at "$" ~expected ~actual [])

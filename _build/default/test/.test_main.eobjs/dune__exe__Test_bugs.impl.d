@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest Explorer List Option Sandtable Scenario Script Systems

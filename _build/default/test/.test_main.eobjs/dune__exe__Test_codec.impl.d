@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Codec List Msg QCheck2 QCheck_alcotest Raft_kernel Types

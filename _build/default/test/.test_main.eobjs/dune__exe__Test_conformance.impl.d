@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Conformance Explorer List Replay Sandtable Scenario Script Spec String Systems Tla Workflow

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bytes Engine List Option Sandtable Tla

@@ -1,0 +1,1 @@
+test/test_explorer.ml: Alcotest Explorer Int List Sandtable Spec Toy_spec Trace

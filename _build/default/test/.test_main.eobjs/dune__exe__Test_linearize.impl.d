@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Linearize List QCheck2 QCheck_alcotest Sandtable

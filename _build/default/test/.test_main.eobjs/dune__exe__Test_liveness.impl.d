@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest List Liveness Sandtable Scenario Systems Tla Toy_spec

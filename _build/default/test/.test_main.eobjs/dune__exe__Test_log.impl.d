@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest List Log QCheck2 QCheck_alcotest Raft_kernel Types

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest List Option Sandtable Scenario Script Spec Systems Tla

@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest List Sandtable Script Toy_spec Trace

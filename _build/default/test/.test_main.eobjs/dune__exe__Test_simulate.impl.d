@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Coverage List Rank Sandtable Simulate Toy_spec Trace

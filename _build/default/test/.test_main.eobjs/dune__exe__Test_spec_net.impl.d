@@ -1,0 +1,1 @@
+test/test_spec_net.ml: Alcotest List Sandtable Tla

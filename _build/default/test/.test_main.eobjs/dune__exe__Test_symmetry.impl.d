@@ -1,0 +1,1 @@
+test/test_symmetry.ml: Alcotest Counters Coverage Fingerprint List Sandtable Scenario String Symmetry Trace

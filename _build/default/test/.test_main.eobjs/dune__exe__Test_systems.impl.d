@@ -1,0 +1,1 @@
+test/test_systems.ml: Alcotest Array Fingerprint Fmt Fun List QCheck2 QCheck_alcotest Random Sandtable Scenario Script Simulate Spec String Symmetry Systems Tla Trace

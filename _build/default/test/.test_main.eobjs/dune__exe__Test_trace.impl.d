@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Fun List Sandtable Sys Trace

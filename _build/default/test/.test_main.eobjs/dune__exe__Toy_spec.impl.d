@@ -1,0 +1,1 @@
+test/toy_spec.ml: Arr Array Counters Coverage Dump Fmt List Sandtable Scenario Spec Tla Trace

@@ -1,0 +1,71 @@
+open Raft_kernel
+
+let case name f = Alcotest.test_case name `Quick f
+
+let roundtrip msg =
+  let decoded = Codec.decode (Codec.encode msg) in
+  Alcotest.(check string)
+    "roundtrip" (Msg.describe msg) (Msg.describe decoded)
+
+let test_roundtrips () =
+  List.iter roundtrip
+    [ Msg.Request_vote
+        { term = 3; last_log_index = 7; last_log_term = 2; prevote = false };
+      Msg.Request_vote
+        { term = 4; last_log_index = 0; last_log_term = 0; prevote = true };
+      Msg.Vote { term = 3; granted = true; prevote = false };
+      Msg.Append_entries
+        { term = 2; prev_index = 1; prev_term = 1;
+          entries = [ Types.entry ~term:2 ~value:5 ]; commit = 1 };
+      Msg.Append_entries
+        { term = 2; prev_index = 0; prev_term = 0; entries = []; commit = 0 };
+      Msg.Append_reply { term = 2; success = false; next_hint = 4 };
+      Msg.Snapshot { term = 5; last_index = 9; last_term = 4 };
+      Msg.Snapshot_reply { term = 5; success = true; next_hint = 10 } ]
+
+let test_decode_garbage () =
+  Alcotest.check_raises "unknown tag" (Codec.Decode_error "unknown tag 99")
+    (fun () -> ignore (Codec.decode (Bytes.of_string "\x63")));
+  Alcotest.check_raises "truncated" (Codec.Decode_error "truncated")
+    (fun () -> ignore (Codec.decode (Bytes.of_string "\x01\x00")))
+
+let test_trailing_bytes () =
+  let b = Codec.encode (Msg.Vote { term = 1; granted = true; prevote = false }) in
+  let longer = Bytes.cat b (Bytes.of_string "x") in
+  Alcotest.check_raises "trailing" (Codec.Decode_error "trailing bytes")
+    (fun () -> ignore (Codec.decode longer))
+
+let gen_msg =
+  let open QCheck2.Gen in
+  let entry = map2 (fun t v -> Types.entry ~term:t ~value:v) (int_range 0 9) (int_range 0 9) in
+  oneof
+    [ map
+        (fun (t, i, lt, p) ->
+          Msg.Request_vote
+            { term = t; last_log_index = i; last_log_term = lt; prevote = p })
+        (quad (int_range 0 999) (int_range 0 999) (int_range 0 999) bool);
+      map
+        (fun (t, g, p) -> Msg.Vote { term = t; granted = g; prevote = p })
+        (triple (int_range 0 999) bool bool);
+      map
+        (fun (t, (pi, pt), es, c) ->
+          Msg.Append_entries
+            { term = t; prev_index = pi; prev_term = pt; entries = es; commit = c })
+        (quad (int_range 0 999)
+           (pair (int_range 0 99) (int_range 0 99))
+           (list_size (int_range 0 5) entry)
+           (int_range 0 99));
+      map
+        (fun (t, s, n) -> Msg.Append_reply { term = t; success = s; next_hint = n })
+        (triple (int_range 0 999) bool (int_range 0 999)) ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrip" ~count:500 gen_msg (fun msg ->
+      Codec.decode (Codec.encode msg) = msg)
+
+let suite =
+  ( "raft.codec",
+    [ case "fixed roundtrips" test_roundtrips;
+      case "garbage rejected" test_decode_garbage;
+      case "trailing bytes rejected" test_trailing_bytes;
+      QCheck_alcotest.to_alcotest prop_roundtrip ] )

@@ -1,0 +1,144 @@
+open Sandtable
+module R = Systems.Registry
+module Bug = Systems.Bug
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Every system's fixed spec must conform to its fixed implementation: the
+   core promise of §3.2 after the iterative process converges. *)
+let conformance_pass (sys : R.t) () =
+  let spec = sys.spec Bug.Flags.empty in
+  let report =
+    Conformance.run ~mask:Systems.Common.conformance_mask ~walk_depth:25 spec
+      ~boot:(fun sc -> sys.sut Bug.Flags.empty None sc)
+      sys.default_scenario ~rounds:25 ~seed:123
+  in
+  match report.discrepancy with
+  | None -> ()
+  | Some d -> Alcotest.failf "discrepancy: %a" Conformance.pp_discrepancy d
+
+(* A buggy implementation against the fixed spec must be caught. *)
+let mismatch_detected (sys : R.t) flags seed () =
+  let spec = sys.spec Bug.Flags.empty in
+  let bugs = Bug.flags flags in
+  let report =
+    Conformance.run ~mask:Systems.Common.conformance_mask ~walk_depth:30
+      ~time_budget:30. spec
+      ~boot:(fun sc -> sys.sut bugs None sc)
+      sys.default_scenario ~rounds:3000 ~seed
+  in
+  match report.discrepancy with
+  | Some _ -> ()
+  | None ->
+    Alcotest.failf "bug %s not caught in %d rounds"
+      (String.concat "," flags) report.rounds_run
+
+(* Replay a scripted schedule of the FIXED spec against a buggy
+   implementation: the divergence is the conformance bug report. *)
+let scripted_mismatch flags scenario script () =
+  let sys = R.find "wraft" in
+  let spec = sys.spec Bug.Flags.empty in
+  match Script.run spec scenario script with
+  | Error f -> Alcotest.failf "script failed: %a" Script.pp_failure f
+  | Ok trace -> (
+    match
+      Replay.confirm ~mask:Systems.Common.conformance_mask spec
+        ~boot:(fun sc -> sys.sut (Bug.flags flags) None sc)
+        scenario trace
+    with
+    | Replay.False_alarm _ -> ()  (* the discrepancy IS the impl bug *)
+    | Replay.Confirmed _ ->
+      Alcotest.failf "buggy impl followed the fixed spec (%s)"
+        (String.concat "," flags))
+
+let test_replay_confirms () =
+  (* find PySyncObj#3 by BFS, then confirm it at the implementation level *)
+  let sys = R.find "pysyncobj" in
+  let bugs = Bug.flags [ "pso3" ] in
+  let spec = sys.spec bugs in
+  let opts =
+    { Explorer.default with
+      only_invariants = Some [ "NextIndexGtMatchIndex" ];
+      time_budget = Some 60. }
+  in
+  let r = Explorer.check spec sys.default_scenario opts in
+  match r.outcome with
+  | Explorer.Violation v -> (
+    match
+      Replay.confirm ~mask:Systems.Common.conformance_mask spec
+        ~boot:(fun sc -> sys.sut bugs None sc)
+        sys.default_scenario v.events
+    with
+    | Replay.Confirmed { events } ->
+      Alcotest.(check int) "all events replayed" v.depth events
+    | Replay.False_alarm d ->
+      Alcotest.failf "false alarm: %a" Conformance.pp_discrepancy d)
+  | _ -> Alcotest.fail "pso3 not found"
+
+let test_workflow_end_to_end () =
+  let sys = R.find "pysyncobj" in
+  let bugs = Bug.flags [ "pso5" ] in
+  let outcome =
+    Workflow.run ~conf_rounds:10
+      ~check_opts:
+        { Explorer.default with
+          only_invariants = Some [ "NoOlderTermCommit" ];
+          time_budget = Some 60. }
+      (sys.bundle bugs sys.default_scenario)
+  in
+  Alcotest.(check bool) "conformance passed" true
+    (outcome.conformance.discrepancy = None);
+  (match outcome.check with
+  | Some { outcome = Explorer.Violation _; _ } -> ()
+  | _ -> Alcotest.fail "model checking should find pso5");
+  match outcome.confirmation with
+  | Some (Replay.Confirmed _) -> ()
+  | _ -> Alcotest.fail "bug should be confirmed at the implementation level"
+
+let test_fix_validation () =
+  let sys = R.find "pysyncobj" in
+  let small =
+    Scenario.v ~name:"fixcheck" ~nodes:2 ~workload:[ 1 ]
+      [ "timeouts", 4; "requests", 2; "crashes", 1; "restarts", 1;
+        "partitions", 1; "buffer", 3 ]
+  in
+  let v =
+    Workflow.validate_fix ~conf_rounds:10
+      ~check_opts:{ Explorer.default with time_budget = Some 120. }
+      (sys.bundle Bug.Flags.empty small)
+  in
+  Alcotest.(check bool) "fix validated" true (Workflow.fix_ok v)
+
+let test_mask_drops_aux () =
+  let spec = (R.find "pysyncobj").spec Bug.Flags.empty in
+  let (module S : Spec.S) = spec in
+  let s0 = List.hd (S.init (R.find "pysyncobj").default_scenario) in
+  let masked = Systems.Common.conformance_mask (S.observe s0) in
+  Alcotest.(check bool) "counters dropped" true
+    (Tla.Value.field masked "counters" = None);
+  Alcotest.(check bool) "flags dropped" true (Tla.Value.field masked "flags" = None);
+  Alcotest.(check bool) "nodes kept" true (Tla.Value.field masked "nodes" <> None)
+
+let suite =
+  ( "conformance",
+    [ case "mask projects to impl-observables" test_mask_drops_aux;
+      case "replay confirms pso3" test_replay_confirms;
+      case "workflow end-to-end (pso5)" test_workflow_end_to_end;
+      case "fix validation" test_fix_validation ]
+    @ List.map
+        (fun (sys : R.t) ->
+          case (sys.name ^ " fixed pair conforms") (conformance_pass sys))
+        R.all
+    @ [ case "pso1 impl crash caught" (mismatch_detected (R.find "pysyncobj") [ "pso1" ] 3);
+        case "raftos3 KeyError caught" (mismatch_detected (R.find "raftos") [ "raftos3" ] 4);
+        case "xraft2 exception caught" (mismatch_detected (R.find "xraft") [ "xraft2" ] 5);
+        case "wraft8 heartbeat stop caught (directed)"
+          (scripted_mismatch [ "wraft8" ] Systems.Wraft.wraft8_scenario
+             Systems.Wraft.wraft8_script);
+        case "wraft6 leak caught (directed)"
+          (scripted_mismatch [ "wraft6" ] Systems.Wraft.wraft6_scenario
+             Systems.Wraft.wraft6_script);
+        case "wraft3 snapshot reject caught (directed)"
+          (scripted_mismatch [ "wraft3" ] Systems.Wraft.wraft3_scenario
+             Systems.Wraft.wraft3_script) ]
+  )

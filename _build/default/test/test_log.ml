@@ -1,0 +1,119 @@
+open Raft_kernel
+
+let case name f = Alcotest.test_case name `Quick f
+let e term value = Types.entry ~term ~value
+
+let sample = Log.of_entries [ e 1 10; e 1 11; e 2 12 ]
+
+let test_basic () =
+  Alcotest.(check int) "last_index" 3 (Log.last_index sample);
+  Alcotest.(check int) "last_term" 2 (Log.last_term sample);
+  Alcotest.(check int) "length" 3 (Log.length sample);
+  Alcotest.(check bool) "get 2" true (Log.get sample 2 = Some (e 1 11));
+  Alcotest.(check bool) "get 0" true (Log.get sample 0 = None);
+  Alcotest.(check bool) "get 4" true (Log.get sample 4 = None)
+
+let test_term_at () =
+  Alcotest.(check bool) "index 0" true (Log.term_at sample 0 = Some 0);
+  Alcotest.(check bool) "index 3" true (Log.term_at sample 3 = Some 2);
+  Alcotest.(check bool) "index 4" true (Log.term_at sample 4 = None)
+
+let test_truncate () =
+  let t = Log.truncate_from sample 2 in
+  Alcotest.(check int) "truncated last" 1 (Log.last_index t);
+  Alcotest.(check int) "truncate all" 0 (Log.last_index (Log.truncate_from sample 1))
+
+let test_entries_from () =
+  Alcotest.(check int) "from 2" 2 (List.length (Log.entries_from sample 2));
+  Alcotest.(check int) "from 4" 0 (List.length (Log.entries_from sample 4))
+
+let test_matches () =
+  Alcotest.(check bool) "prev 0" true (Log.matches sample ~prev_index:0 ~prev_term:0);
+  Alcotest.(check bool) "prev 3 term 2" true
+    (Log.matches sample ~prev_index:3 ~prev_term:2);
+  Alcotest.(check bool) "prev 3 wrong term" false
+    (Log.matches sample ~prev_index:3 ~prev_term:1);
+  Alcotest.(check bool) "prev beyond" false
+    (Log.matches sample ~prev_index:4 ~prev_term:2)
+
+let test_compaction () =
+  let c = Log.compact_to sample 2 in
+  Alcotest.(check int) "base_index" 2 (Log.base_index c);
+  Alcotest.(check int) "base_term" 1 (Log.base_term c);
+  Alcotest.(check int) "last_index preserved" 3 (Log.last_index c);
+  Alcotest.(check bool) "compacted entry gone" true (Log.get c 1 = None);
+  Alcotest.(check bool) "boundary term" true (Log.term_at c 2 = Some 1);
+  Alcotest.(check bool) "live entry" true (Log.get c 3 = Some (e 2 12));
+  (* compacting below base is a no-op *)
+  Alcotest.(check int) "recompact noop" 2 (Log.base_index (Log.compact_to c 1))
+
+let test_compact_beyond_end () =
+  Alcotest.(check int) "cannot compact beyond end" 0
+    (Log.base_index (Log.compact_to sample 9))
+
+let test_install_snapshot () =
+  let s = Log.install_snapshot ~last_index:5 ~last_term:3 in
+  Alcotest.(check int) "last" 5 (Log.last_index s);
+  Alcotest.(check int) "term" 3 (Log.last_term s);
+  Alcotest.(check int) "len" 0 (Log.length s);
+  Alcotest.(check int) "append after snapshot" 6
+    (Log.last_index (Log.append s (e 3 1)))
+
+let test_prefix_consistency () =
+  let a = Log.of_entries [ e 1 1; e 2 2 ] in
+  let b = Log.of_entries [ e 1 1; e 2 2; e 2 3 ] in
+  Alcotest.(check bool) "prefix ok" true (Log.is_prefix_consistent a b);
+  (* divergence at an index ABOVE any agreement point is legal *)
+  let c = Log.of_entries [ e 1 1; e 3 9 ] in
+  Alcotest.(check bool) "fork above anchor ok" true
+    (Log.is_prefix_consistent a c);
+  (* disagreement BELOW an agreement point violates log matching *)
+  let d = Log.of_entries [ e 9 1; e 2 2 ] in
+  Alcotest.(check bool) "conflict below anchor" false
+    (Log.is_prefix_consistent a d);
+  (* logs that disagree everywhere have no anchor: vacuously consistent *)
+  let x = Log.of_entries [ e 5 1 ] in
+  Alcotest.(check bool) "no anchor" true (Log.is_prefix_consistent a x)
+
+let gen_entries =
+  QCheck2.Gen.(
+    list_size (int_range 0 8)
+      (map2 (fun t v -> e t v) (int_range 1 4) (int_range 0 5)))
+
+let prop_append_grows =
+  QCheck2.Test.make ~name:"append increments last_index" ~count:200 gen_entries
+    (fun entries ->
+      let log = Log.of_entries entries in
+      Log.last_index (Log.append log (e 9 9)) = Log.last_index log + 1)
+
+let prop_compact_preserves_tail =
+  QCheck2.Test.make ~name:"compaction preserves live entries" ~count:200
+    (QCheck2.Gen.pair gen_entries (QCheck2.Gen.int_range 0 8))
+    (fun (entries, upto) ->
+      let log = Log.of_entries entries in
+      let upto = min upto (Log.last_index log) in
+      let c = Log.compact_to log upto in
+      List.for_all
+        (fun i -> Log.get c i = Log.get log i)
+        (List.init (Log.last_index log - upto) (fun k -> upto + 1 + k)))
+
+let prop_self_consistent =
+  QCheck2.Test.make ~name:"log matches itself" ~count:200 gen_entries
+    (fun entries ->
+      let log = Log.of_entries entries in
+      Log.is_prefix_consistent log log)
+
+let suite =
+  ( "raft.log",
+    [ case "basic accessors" test_basic;
+      case "term_at" test_term_at;
+      case "truncate_from" test_truncate;
+      case "entries_from" test_entries_from;
+      case "matches" test_matches;
+      case "compaction" test_compaction;
+      case "compact beyond end" test_compact_beyond_end;
+      case "install snapshot" test_install_snapshot;
+      case "log-matching property" test_prefix_consistency;
+      QCheck_alcotest.to_alcotest prop_append_grows;
+      QCheck_alcotest.to_alcotest prop_compact_preserves_tail;
+      QCheck_alcotest.to_alcotest prop_self_consistent ] )

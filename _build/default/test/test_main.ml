@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sandtable"
+    [ Test_value.suite;
+      Test_log.suite;
+      Test_codec.suite;
+      Test_spec_net.suite;
+      Test_symmetry.suite;
+      Test_explorer.suite;
+      Test_simulate.suite;
+      Test_linearize.suite;
+      Test_trace.suite;
+      Test_engine.suite;
+      Test_liveness.suite;
+      Test_protocol.suite;
+      Test_script.suite;
+      Test_systems.suite;
+      Test_conformance.suite;
+      Test_bugs.suite ]

@@ -1,0 +1,262 @@
+(* Protocol-level unit tests: directed micro-traces through the system
+   specifications with assertions on the observed state after each phase. *)
+
+open Sandtable
+module R = Systems.Registry
+module Bug = Systems.Bug
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* observation helpers *)
+let node obs name =
+  match Tla.Value.field obs "nodes" with
+  | Some nodes -> (
+    match Tla.Value.find nodes (Tla.Value.str name) with
+    | Some n -> n
+    | None -> Alcotest.failf "node %s missing" name)
+  | None -> Alcotest.fail "no nodes field"
+
+let field_str n f =
+  match Tla.Value.field n f with
+  | Some (Tla.Value.Str s) -> s
+  | _ -> Alcotest.failf "field %s not a string" f
+
+let field_int n f =
+  match Tla.Value.field n f with
+  | Some (Tla.Value.Int i) -> i
+  | _ -> Alcotest.failf "field %s not an int" f
+
+let log_len n =
+  match Option.bind (Tla.Value.field n "log") (fun l -> Tla.Value.field l "entries") with
+  | Some (Tla.Value.Seq es) -> List.length es
+  | _ -> Alcotest.failf "log shape"
+
+let run_script spec scenario script =
+  match Script.run spec scenario script with
+  | Error f -> Alcotest.failf "script: %a" Script.pp_failure f
+  | Ok trace -> (
+    match Spec.observations_along spec scenario trace with
+    | Some obs -> List.nth obs (List.length obs - 1)
+    | None -> Alcotest.fail "trace must replay")
+
+let raft_scenario ?(udp = false) ?(nodes = 2) () =
+  Scenario.v ~name:"proto" ~nodes ~workload:[ 1; 2 ]
+    ([ "timeouts", 6; "requests", 3; "crashes", 1; "restarts", 1;
+       "partitions", 1; "buffer", 4 ]
+    @ if udp then [ "drops", 1; "dups", 1 ] else [])
+
+let elect_n1 =
+  Script.[ timeout 0 "election"; deliver ~src:0 ~dst:1; deliver ~src:1 ~dst:0 ]
+
+(* --- PySyncObj ------------------------------------------------------- *)
+
+let test_pso_election () =
+  let spec = (R.find "pysyncobj").spec Bug.Flags.empty in
+  let obs = run_script spec (raft_scenario ()) elect_n1 in
+  Alcotest.(check string) "n1 leads" "leader" (field_str (node obs "n1") "role");
+  Alcotest.(check int) "term 1" 1 (field_int (node obs "n1") "term");
+  Alcotest.(check string) "n2 follows" "follower" (field_str (node obs "n2") "role")
+
+let test_pso_replication_and_commit () =
+  let spec = (R.find "pysyncobj").spec Bug.Flags.empty in
+  let obs =
+    run_script spec (raft_scenario ())
+      (elect_n1
+      @ Script.
+          [ client 0;
+            timeout 0 "heartbeat";
+            deliver_msg ~src:0 ~dst:1 "AE(";
+            deliver_msg ~src:1 ~dst:0 "AER(" ])
+  in
+  Alcotest.(check int) "leader commit" 1 (field_int (node obs "n1") "commit");
+  Alcotest.(check int) "follower has entry" 1 (log_len (node obs "n2"))
+
+let test_pso_crash_loses_log () =
+  (* the modelled journal-less deployment loses its log on crash *)
+  let spec = (R.find "pysyncobj").spec Bug.Flags.empty in
+  let obs =
+    run_script spec (raft_scenario ())
+      (elect_n1 @ Script.[ client 0; crash 0; restart 0 ])
+  in
+  Alcotest.(check int) "log gone" 0 (log_len (node obs "n1"));
+  Alcotest.(check int) "term persisted" 1 (field_int (node obs "n1") "term")
+
+let test_pso_vote_denied_when_behind () =
+  (* after n1 replicates an entry, a log-behind n2 cannot get n1's vote *)
+  let spec = (R.find "pysyncobj").spec Bug.Flags.empty in
+  let obs =
+    run_script spec (raft_scenario ())
+      (elect_n1
+      @ Script.
+          [ client 0;
+            timeout 0 "heartbeat";
+            deliver_msg ~src:0 ~dst:1 "AE(";
+            deliver_msg ~src:1 ~dst:0 "AER(";
+            crash 1;
+            restart 1;  (* n2 lost its log *)
+            timeout 1 "election";
+            deliver_msg ~src:1 ~dst:0 "RV(";
+            deliver_msg ~src:0 ~dst:1 "Vote(" ])
+  in
+  Alcotest.(check string) "n2 stays candidate" "candidate"
+    (field_str (node obs "n2") "role")
+
+(* --- WRaft family ---------------------------------------------------- *)
+
+let test_wraft_compaction_then_snapshot () =
+  (* after compaction, a lagging peer is caught up via Snapshot (fixed);
+     the buggy build's final AE step is replaced by the snapshot exchange *)
+  let spec = (R.find "wraft").spec Bug.Flags.empty in
+  let scenario = Systems.Wraft.fig7_scenario in
+  let n = List.length Systems.Wraft.fig7_script in
+  let prefix = List.filteri (fun i _ -> i < n - 1) Systems.Wraft.fig7_script in
+  let obs =
+    run_script spec scenario
+      (prefix
+      @ Script.[ deliver_msg ~src:1 ~dst:0 "Snap("; deliver_msg ~src:0 ~dst:1 "SnapR(" ])
+  in
+  (* n1's conflicting entry was replaced by the snapshot at index 1 *)
+  let n1 = node obs "n1" in
+  Alcotest.(check int) "n1 commit from snapshot" 1 (field_int n1 "commit");
+  match Option.bind (Tla.Value.field n1 "log") (fun l -> Tla.Value.field l "base_index") with
+  | Some (Tla.Value.Int 1) -> ()
+  | _ -> Alcotest.fail "snapshot installed at base 1"
+
+let test_prevote_flow () =
+  (* RedisRaft (prevote enabled): election goes through a prevote round *)
+  let spec = (R.find "redisraft").spec Bug.Flags.empty in
+  let obs =
+    run_script spec (raft_scenario ())
+      Script.
+        [ timeout 0 "election";
+          deliver_msg ~src:0 ~dst:1 "PreRV";
+          deliver_msg ~src:1 ~dst:0 "PreVote";
+          deliver_msg ~src:0 ~dst:1 "RV(";
+          deliver_msg ~src:1 ~dst:0 "Vote(" ]
+  in
+  Alcotest.(check string) "elected after prevote" "leader"
+    (field_str (node obs "n1") "role")
+
+let test_daos_leader_denies_prevote () =
+  (* fixed DaosRaft: an established leader refuses pre-votes *)
+  let spec = (R.find "daosraft").spec Bug.Flags.empty in
+  let obs =
+    run_script spec
+      (raft_scenario ~nodes:3 ())
+      Script.
+        [ timeout 0 "election";
+          deliver_msg ~src:0 ~dst:1 "PreRV";
+          deliver_msg ~src:1 ~dst:0 "PreVote";
+          deliver_msg ~src:0 ~dst:1 "RV(";
+          deliver_msg ~src:1 ~dst:0 "Vote(";  (* n1 leads *)
+          timeout 2 "election";
+          deliver_msg ~src:2 ~dst:0 "PreRV";
+          (* drain n1's backlog to n3: its own old PreRV/RV, then the
+             pre-vote denial issued while leading *)
+          deliver ~src:0 ~dst:2;
+          deliver ~src:0 ~dst:2;
+          deliver ~src:0 ~dst:2 ]
+  in
+  Alcotest.(check bool) "n3 not elected" true
+    (field_str (node obs "n3") "role" <> "leader");
+  Alcotest.(check string) "n1 still leads" "leader"
+    (field_str (node obs "n1") "role")
+
+(* --- RaftOS ----------------------------------------------------------- *)
+
+let test_raftos_reject_resync () =
+  (* a reject adjusts nextIndex via the hint and resync succeeds *)
+  let spec = (R.find "raftos").spec Bug.Flags.empty in
+  let obs =
+    run_script spec
+      (raft_scenario ~udp:true ())
+      (elect_n1
+      @ Script.
+          [ client 0;
+            crash 0;
+            restart 0;
+            timeout 0 "election";
+            deliver_msg ~src:0 ~dst:1 "RV(";
+            deliver_msg ~src:1 ~dst:0 "Vote(";
+            timeout 0 "heartbeat";
+            deliver_msg ~src:0 ~dst:1 "AE(";   (* prev=1 mismatch: reject *)
+            deliver_msg ~src:1 ~dst:0 "AER(";  (* hint resets next to 1 *)
+            timeout 0 "heartbeat";
+            deliver_msg ~src:0 ~dst:1 "AE(";   (* full resync *)
+            deliver_msg ~src:1 ~dst:0 "AER(" ])
+  in
+  Alcotest.(check int) "resynced" 1 (log_len (node obs "n2"));
+  Alcotest.(check int) "committed in new term?" 0
+    (field_int (node obs "n1") "commit")
+(* the old-term entry alone must NOT commit (no current-term cover) *)
+
+(* --- Xraft-KV --------------------------------------------------------- *)
+
+let test_kv_logged_read () =
+  let spec = (R.find "xraft-kv").spec Bug.Flags.empty in
+  let scenario = (R.find "xraft-kv").default_scenario in
+  let obs =
+    run_script spec scenario
+      (elect_n1
+      @ Script.
+          [ deliver ~src:0 ~dst:2;  (* drain second RV *)
+            client_op 0 "put:1";
+            timeout 0 "heartbeat";
+            deliver_msg ~src:0 ~dst:1 "AE(";
+            deliver_msg ~src:1 ~dst:0 "AER(";  (* put committed *)
+            client_op 0 "get";
+            timeout 0 "heartbeat";
+            deliver_msg ~src:0 ~dst:1 "AE(";
+            deliver_msg ~src:1 ~dst:0 "AER(" ])  (* read committed *)
+  in
+  match Tla.Value.field obs "history" with
+  | Some (Tla.Value.Seq [ put; get ]) ->
+    Alcotest.(check string) "put first" "put"
+      (match Tla.Value.field put "type" with Some (Tla.Value.Str s) -> s | _ -> "?");
+    (match Tla.Value.field get "result" with
+    | Some (Tla.Value.Int 1) -> ()
+    | _ -> Alcotest.fail "read must observe the committed put")
+  | _ -> Alcotest.fail "history must contain put then get"
+
+(* --- ZooKeeper (Zab) --------------------------------------------------- *)
+
+let test_zab_happy_path () =
+  let spec = (R.find "zookeeper").spec Bug.Flags.empty in
+  let scenario = Systems.Zookeeper.zk1_script_scenario in
+  let obs =
+    run_script spec scenario
+      Script.
+        [ timeout 2 "election";
+          deliver ~src:2 ~dst:0;
+          deliver_msg ~src:0 ~dst:2 "Not(";
+          deliver_msg ~src:0 ~dst:2 "FInfo";
+          deliver_msg ~src:2 ~dst:0 "LInfo";
+          deliver_msg ~src:0 ~dst:2 "EpochAck";
+          deliver_msg ~src:2 ~dst:0 "Sync(";
+          deliver_msg ~src:0 ~dst:2 "SyncAck";
+          client 2;
+          deliver_msg ~src:2 ~dst:0 "Prop";
+          deliver_msg ~src:0 ~dst:2 "PropAck";
+          deliver_msg ~src:2 ~dst:0 "Commit" ]
+  in
+  let n3 = node obs "n3" and n1 = node obs "n1" in
+  Alcotest.(check string) "n3 leading" "leading" (field_str n3 "role");
+  Alcotest.(check bool) "established" true
+    (Tla.Value.field n3 "established" = Some (Tla.Value.bool true));
+  Alcotest.(check int) "epoch 1" 1 (field_int n3 "epoch");
+  Alcotest.(check int) "leader committed" 1 (field_int n3 "commit");
+  Alcotest.(check int) "follower committed" 1 (field_int n1 "commit");
+  Alcotest.(check string) "n1 following" "following" (field_str n1 "role")
+
+let suite =
+  ( "protocol",
+    [ case "pysyncobj election" test_pso_election;
+      case "pysyncobj replication+commit" test_pso_replication_and_commit;
+      case "pysyncobj crash loses log" test_pso_crash_loses_log;
+      case "pysyncobj up-to-date vote check" test_pso_vote_denied_when_behind;
+      case "wraft snapshot catch-up" test_wraft_compaction_then_snapshot;
+      case "redisraft prevote flow" test_prevote_flow;
+      case "daosraft leader denies prevote" test_daos_leader_denies_prevote;
+      case "raftos reject-driven resync" test_raftos_reject_resync;
+      case "xraft-kv logged read" test_kv_logged_read;
+      case "zab election/discovery/broadcast" test_zab_happy_path ] )

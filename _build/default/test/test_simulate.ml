@@ -1,0 +1,91 @@
+open Sandtable
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_walk_deterministic () =
+  let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:5 in
+  let spec = Toy_spec.spec () in
+  let walk seed =
+    List.hd (Simulate.walks spec scenario Simulate.default ~seed ~count:1)
+  in
+  let a = walk 42 and b = walk 42 in
+  Alcotest.(check bool) "same seed, same walk" true
+    (List.for_all2 Trace.equal_event a.events b.events);
+  let c = walk 43 in
+  Alcotest.(check bool) "walk is budget-bounded" true (c.depth <= 5)
+
+let test_walk_depth_bound () =
+  let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:50 in
+  let opts = { Simulate.default with max_depth = 7 } in
+  let w =
+    List.hd (Simulate.walks (Toy_spec.spec ()) scenario opts ~seed:1 ~count:1)
+  in
+  Alcotest.(check int) "depth capped" 7 w.depth
+
+let test_walk_detects_violation () =
+  let scenario = Toy_spec.scenario ~nodes:1 ~timeouts:10 in
+  let w =
+    List.hd
+      (Simulate.walks (Toy_spec.spec ~limit:3 ()) scenario
+         { Simulate.default with max_depth = 10 }
+         ~seed:1 ~count:1)
+  in
+  match w.violation with
+  | Some ("BelowLimit", depth) -> Alcotest.(check int) "violated at 3" 3 depth
+  | _ -> Alcotest.fail "single-node walk must hit the limit"
+
+let test_coverage_collected () =
+  let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:5 in
+  let ws =
+    Simulate.walks (Toy_spec.spec ()) scenario Simulate.default ~seed:5 ~count:10
+  in
+  let agg = Simulate.aggregate ws in
+  Alcotest.(check int) "both tick branches covered" 2
+    (Coverage.cardinal agg.union_coverage);
+  Alcotest.(check int) "one event kind" 1 agg.distinct_event_kinds;
+  Alcotest.(check int) "runs" 10 agg.runs
+
+let test_observations_recorded () =
+  let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:4 in
+  let opts = { Simulate.default with record_observations = true } in
+  let w =
+    List.hd (Simulate.walks (Toy_spec.spec ()) scenario opts ~seed:2 ~count:1)
+  in
+  Alcotest.(check int) "one observation per event" w.depth
+    (List.length w.observations)
+
+let test_rank_orders_budgets () =
+  let spec = Toy_spec.spec () in
+  let configs = [ { Rank.cname = "c"; nodes = 2; workload = [ 1 ] } ] in
+  let budgets = [ [ "timeouts", 1 ]; [ "timeouts", 8 ] ] in
+  match
+    Rank.rank spec ~configs ~budgets ~walks_per:20 ~walk_depth:10 ~seed:1
+  with
+  | [ (_, [ best; worst ]) ] ->
+    (* both cover the same 2 branches; the shallower budget ranks first *)
+    Alcotest.(check bool) "coverage order" true (best.coverage >= worst.coverage);
+    Alcotest.(check bool) "shallower first on tie" true
+      (best.coverage > worst.coverage || best.mean_depth <= worst.mean_depth)
+  | _ -> Alcotest.fail "rank shape"
+
+let test_rank_default_compare () =
+  let d budget coverage diversity mean_depth =
+    { Rank.budget; coverage; diversity; mean_depth; max_depth = 0;
+      violations = 0 }
+  in
+  let high_cov = d [] 10 2 20. and low_cov = d [] 5 9 1. in
+  Alcotest.(check bool) "coverage dominates" true
+    (Rank.default_compare high_cov low_cov < 0);
+  let deep = d [] 5 2 30. and shallow = d [] 5 2 10. in
+  Alcotest.(check bool) "shallow preferred on ties" true
+    (Rank.default_compare shallow deep < 0)
+
+let suite =
+  ( "simulate+rank",
+    [ case "seeded determinism" test_walk_deterministic;
+      case "depth bound" test_walk_depth_bound;
+      case "violation detection" test_walk_detects_violation;
+      case "coverage collection" test_coverage_collected;
+      case "observation recording" test_observations_recorded;
+      case "algorithm 1 ordering" test_rank_orders_budgets;
+      case "default comparator" test_rank_default_compare ] )

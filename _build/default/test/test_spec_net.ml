@@ -1,0 +1,100 @@
+module Net = Sandtable.Spec_net.Make (struct
+  type t = string
+
+  let describe s = s
+  let observe s = Tla.Value.str s
+end)
+
+let case name f = Alcotest.test_case name `Quick f
+let tcp () = Net.create ~nodes:3 Sandtable.Spec_net.Tcp
+let udp () = Net.create ~nodes:3 Sandtable.Spec_net.Udp
+
+let send_ok net ~src ~dst msg =
+  let net, ok = Net.send net ~src ~dst msg in
+  Alcotest.(check bool) "send accepted" true ok;
+  net
+
+let test_tcp_fifo () =
+  let net = send_ok (tcp ()) ~src:0 ~dst:1 "a" in
+  let net = send_ok net ~src:0 ~dst:1 "b" in
+  (* only the head of a TCP queue is deliverable *)
+  Alcotest.(check int) "one choice" 1 (List.length (Net.deliverable net));
+  (match Net.deliver net ~src:0 ~dst:1 ~index:1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "TCP delivered out of order");
+  match Net.deliver net ~src:0 ~dst:1 ~index:0 with
+  | Some ("a", net') -> (
+    match Net.deliver net' ~src:0 ~dst:1 ~index:0 with
+    | Some ("b", _) -> ()
+    | _ -> Alcotest.fail "second message wrong")
+  | _ -> Alcotest.fail "head delivery failed"
+
+let test_udp_reorder () =
+  let net = send_ok (udp ()) ~src:0 ~dst:1 "a" in
+  let net = send_ok net ~src:0 ~dst:1 "b" in
+  Alcotest.(check int) "two choices" 2 (List.length (Net.deliverable net));
+  match Net.deliver net ~src:0 ~dst:1 ~index:1 with
+  | Some ("b", net') ->
+    Alcotest.(check int) "one left" 1 (Net.queue_len net' ~src:0 ~dst:1)
+  | _ -> Alcotest.fail "UDP out-of-order delivery failed"
+
+let test_udp_drop_dup () =
+  let net = send_ok (udp ()) ~src:0 ~dst:1 "a" in
+  (match Net.drop net ~src:0 ~dst:1 ~index:0 with
+  | Some net' -> Alcotest.(check int) "dropped" 0 (Net.queue_len net' ~src:0 ~dst:1)
+  | None -> Alcotest.fail "drop failed");
+  match Net.duplicate net ~src:0 ~dst:1 ~index:0 with
+  | Some net' -> Alcotest.(check int) "duplicated" 2 (Net.queue_len net' ~src:0 ~dst:1)
+  | None -> Alcotest.fail "duplicate failed"
+
+let test_tcp_no_drop_dup () =
+  let net = send_ok (tcp ()) ~src:0 ~dst:1 "a" in
+  Alcotest.(check bool) "no drop" true (Net.drop net ~src:0 ~dst:1 ~index:0 = None);
+  Alcotest.(check bool) "no dup" true
+    (Net.duplicate net ~src:0 ~dst:1 ~index:0 = None)
+
+let test_partition () =
+  let net = send_ok (tcp ()) ~src:0 ~dst:2 "x" in
+  let net = send_ok net ~src:2 ~dst:1 "y" in
+  let net = Net.partition net ~group:[ 0 ] in
+  Alcotest.(check bool) "0-1 cut" false (Net.connected net 0 1);
+  Alcotest.(check bool) "0-2 cut" false (Net.connected net 0 2);
+  Alcotest.(check bool) "1-2 alive" true (Net.connected net 1 2);
+  Alcotest.(check int) "crossing queue cleared" 0 (Net.queue_len net ~src:0 ~dst:2);
+  Alcotest.(check int) "inner queue kept" 1 (Net.queue_len net ~src:2 ~dst:1);
+  let net, ok = Net.send net ~src:0 ~dst:1 "z" in
+  Alcotest.(check bool) "send across cut fails" false ok;
+  let net = Net.heal net in
+  Alcotest.(check bool) "healed" true (Net.fully_connected net)
+
+let test_disconnect_node () =
+  let net = send_ok (tcp ()) ~src:1 ~dst:0 "m" in
+  let net = Net.disconnect_node net 0 in
+  Alcotest.(check int) "queue cleared" 0 (Net.queue_len net ~src:1 ~dst:0);
+  Alcotest.(check bool) "cut both ways" false (Net.connected net 0 1);
+  let net = Net.reconnect_node net 0 in
+  Alcotest.(check bool) "reconnected" true (Net.fully_connected net)
+
+let test_permute () =
+  let net = send_ok (tcp ()) ~src:0 ~dst:1 "m" in
+  let p = [| 2; 0; 1 |] in
+  let net' = Net.permute p net in
+  Alcotest.(check int) "renamed queue" 1 (Net.queue_len net' ~src:2 ~dst:0);
+  Alcotest.(check int) "old queue empty" 0 (Net.queue_len net' ~src:0 ~dst:1)
+
+let test_self_link () =
+  let net = tcp () in
+  Alcotest.(check bool) "no self link" false (Net.connected net 1 1);
+  let _, ok = Net.send net ~src:1 ~dst:1 "loop" in
+  Alcotest.(check bool) "self send refused" false ok
+
+let suite =
+  ( "spec_net",
+    [ case "tcp fifo" test_tcp_fifo;
+      case "udp reorder" test_udp_reorder;
+      case "udp drop/duplicate" test_udp_drop_dup;
+      case "tcp forbids drop/duplicate" test_tcp_no_drop_dup;
+      case "partition semantics" test_partition;
+      case "node disconnect" test_disconnect_node;
+      case "node permutation" test_permute;
+      case "self links" test_self_link ] )

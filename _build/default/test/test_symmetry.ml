@@ -1,0 +1,79 @@
+open Sandtable
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_permutation_count () =
+  Alcotest.(check int) "3! = 6" 6 (List.length (Symmetry.permutations 3));
+  Alcotest.(check int) "1! = 1" 1 (List.length (Symmetry.permutations 1));
+  let all = Symmetry.permutations 4 in
+  Alcotest.(check int) "4! = 24" 24 (List.length all);
+  Alcotest.(check int) "all distinct" 24
+    (List.length (List.sort_uniq compare all))
+
+let test_identity_first () =
+  match Symmetry.permutations 3 with
+  | first :: _ -> Alcotest.(check bool) "identity" true (first = [| 0; 1; 2 |])
+  | [] -> Alcotest.fail "empty"
+
+let test_canonical_fp_invariance () =
+  let permute p (a : int array) = Sandtable.Arr.permute p a in
+  let fp s = Symmetry.canonical_fp ~permute ~nodes:3 s in
+  Alcotest.(check bool) "permuted states share canonical fp" true
+    (Fingerprint.equal (fp [| 1; 2; 3 |]) (fp [| 3; 1; 2 |]));
+  Alcotest.(check bool) "different multisets differ" false
+    (Fingerprint.equal (fp [| 1; 2; 3 |]) (fp [| 1; 2; 4 |]))
+
+let test_fingerprint_basics () =
+  let a = Fingerprint.of_state (1, [ "x" ]) in
+  let b = Fingerprint.of_state (1, [ "x" ]) in
+  let c = Fingerprint.of_state (2, [ "x" ]) in
+  Alcotest.(check bool) "equal states equal fp" true (Fingerprint.equal a b);
+  Alcotest.(check bool) "different states differ" false (Fingerprint.equal a c);
+  Alcotest.(check int) "hex width" 32 (String.length (Fingerprint.to_hex a))
+
+let test_coverage_collect () =
+  let (), branches =
+    Coverage.collect (fun () ->
+        Coverage.hit "a";
+        Coverage.hit "b";
+        Coverage.hit "a")
+  in
+  Alcotest.(check int) "two branches" 2 (Coverage.cardinal branches);
+  Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (Coverage.branches branches);
+  (* outside a collector, hits are dropped *)
+  Coverage.hit "c";
+  let (), nested =
+    Coverage.collect (fun () ->
+        let (), inner = Coverage.collect (fun () -> Coverage.hit "inner") in
+        Alcotest.(check int) "inner" 1 (Coverage.cardinal inner);
+        Coverage.hit "outer")
+  in
+  Alcotest.(check (list string)) "outer collector restored" [ "outer" ]
+    (Coverage.branches nested)
+
+let test_counters () =
+  let c = Counters.zero in
+  let c = Counters.bump c (Trace.Timeout { node = 0; kind = "x" }) in
+  let c = Counters.bump c (Trace.Crash { node = 0 }) in
+  let c = Counters.bump c (Trace.Deliver { src = 0; dst = 1; index = 0; desc = "" }) in
+  Alcotest.(check int) "timeouts" 1 c.timeouts;
+  Alcotest.(check int) "crashes" 1 c.crashes;
+  Alcotest.(check bool) "within" true (Counters.within c [ "timeouts", 1 ]);
+  Alcotest.(check bool) "over" false (Counters.within c [ "crashes", 0 ]);
+  Alcotest.(check bool) "unnamed unbounded" true (Counters.within c [])
+
+let test_scenario_double () =
+  let b = [ "timeouts", 3; "buffer", 4 ] in
+  Alcotest.(check int) "doubled" 6
+    (Scenario.budget_get (Scenario.double b) "timeouts" ~default:0);
+  Alcotest.(check int) "default" 9 (Scenario.budget_get b "missing" ~default:9)
+
+let suite =
+  ( "symmetry+support",
+    [ case "permutation count" test_permutation_count;
+      case "identity first" test_identity_first;
+      case "canonical fingerprint invariance" test_canonical_fp_invariance;
+      case "fingerprint basics" test_fingerprint_basics;
+      case "coverage collection" test_coverage_collect;
+      case "counters" test_counters;
+      case "scenario budgets" test_scenario_double ] )

@@ -1,0 +1,181 @@
+(* Cross-cutting properties every integrated system must satisfy. *)
+
+open Sandtable
+module R = Systems.Registry
+module Bug = Systems.Bug
+
+let case name f = Alcotest.test_case name `Quick f
+
+let each f = List.iter (fun (sys : R.t) -> f sys) R.all
+
+let test_init_nonempty () =
+  each (fun sys ->
+      let (module S : Spec.S) = sys.spec Bug.Flags.empty in
+      Alcotest.(check bool)
+        (sys.name ^ " init") true
+        (S.init sys.default_scenario <> []))
+
+let test_next_deterministic () =
+  each (fun sys ->
+      let (module S : Spec.S) = sys.spec Bug.Flags.empty in
+      let s0 = List.hd (S.init sys.default_scenario) in
+      let events l = List.map (fun (e, _) -> Fmt.str "%a" Trace.pp_event e) l in
+      Alcotest.(check (list string))
+        (sys.name ^ " next deterministic")
+        (events (S.next sys.default_scenario s0))
+        (events (S.next sys.default_scenario s0)))
+
+let test_events_unique () =
+  (* deterministic replay (§3.4) requires events to identify transitions *)
+  each (fun sys ->
+      let (module S : Spec.S) = sys.spec Bug.Flags.empty in
+      let s0 = List.hd (S.init sys.default_scenario) in
+      let rec probe depth state =
+        if depth = 0 then ()
+        else
+          let successors = S.next sys.default_scenario state in
+          let keys =
+            List.map (fun (e, _) -> Fmt.str "%a" Trace.pp_event e) successors
+          in
+          Alcotest.(check int)
+            (sys.name ^ " unique events")
+            (List.length keys)
+            (List.length (List.sort_uniq String.compare keys));
+          match successors with
+          | (_, s') :: _ -> probe (depth - 1) s'
+          | [] -> ()
+      in
+      probe 6 s0)
+
+let test_permute_identity () =
+  each (fun sys ->
+      let (module S : Spec.S) = sys.spec Bug.Flags.empty in
+      let s0 = List.hd (S.init sys.default_scenario) in
+      let identity = Array.init sys.default_scenario.nodes Fun.id in
+      Alcotest.(check bool)
+        (sys.name ^ " permute identity") true
+        (Fingerprint.equal
+           (Fingerprint.of_state (S.permute identity s0))
+           (Fingerprint.of_state s0)))
+
+let test_permute_fingerprint_class () =
+  (* walking then permuting yields the same canonical fingerprint *)
+  each (fun sys ->
+      let (module S : Spec.S) = sys.spec Bug.Flags.empty in
+      let scenario = sys.default_scenario in
+      let rng = Random.State.make [| 9 |] in
+      let rec advance state n =
+        if n = 0 then state
+        else
+          match S.next scenario state with
+          | [] -> state
+          | succ ->
+            let _, s' = List.nth succ (Random.State.int rng (List.length succ)) in
+            advance s' (n - 1)
+      in
+      let s = advance (List.hd (S.init scenario)) 8 in
+      let canonical st =
+        Symmetry.canonical_fp ~permute:S.permute ~nodes:scenario.nodes st
+      in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (sys.name ^ " canonical fp invariant") true
+            (Fingerprint.equal (canonical s) (canonical (S.permute p s))))
+        (Symmetry.permutations scenario.nodes))
+
+let test_observe_has_nodes_and_net () =
+  each (fun sys ->
+      let (module S : Spec.S) = sys.spec Bug.Flags.empty in
+      let s0 = List.hd (S.init sys.default_scenario) in
+      let obs = S.observe s0 in
+      Alcotest.(check bool) (sys.name ^ " nodes field") true
+        (Tla.Value.field obs "nodes" <> None);
+      Alcotest.(check bool) (sys.name ^ " net field") true
+        (Tla.Value.field obs "net" <> None))
+
+let test_initial_invariants_hold () =
+  each (fun sys ->
+      let (module S : Spec.S) = sys.spec Bug.Flags.empty in
+      List.iter
+        (fun s0 ->
+          List.iter
+            (fun (name, holds) ->
+              Alcotest.(check bool)
+                (sys.name ^ " init satisfies " ^ name)
+                true
+                (holds sys.default_scenario s0))
+            S.invariants)
+        (S.init sys.default_scenario))
+
+(* property test: along random walks of every system, the budget constraint
+   keeps holding on expanded states and observations stay well-formed *)
+let prop_walks_well_formed =
+  QCheck2.Test.make ~name:"random walks well-formed across systems" ~count:24
+    QCheck2.Gen.(pair (int_range 0 7) (int_range 0 10_000))
+    (fun (sys_idx, seed) ->
+      let sys = List.nth R.all sys_idx in
+      let spec = sys.spec Bug.Flags.empty in
+      let opts = { Simulate.default with max_depth = 15; record_observations = true } in
+      let w = List.hd (Simulate.walks spec sys.default_scenario opts ~seed ~count:1) in
+      w.violation = None
+      && List.for_all
+           (fun obs -> Tla.Value.field obs "nodes" <> None)
+           w.observations)
+
+let test_wraft9_blocks_elections () =
+  (* the modeling-stage bug: a candidate advertising a zero last-log term
+     is refused by any voter that holds entries, so re-election after log
+     replication never succeeds *)
+  let scenario =
+    Scenario.v ~name:"wraft9" ~nodes:2 ~workload:[ 1 ]
+      [ "timeouts", 4; "requests", 1; "crashes", 0; "restarts", 0;
+        "partitions", 0; "drops", 0; "dups", 0; "buffer", 3 ]
+  in
+  let script =
+    let open Script in
+    [ timeout 0 "election";
+      deliver ~src:0 ~dst:1;
+      deliver ~src:1 ~dst:0;  (* n1 leads term 1 *)
+      client 0;
+      timeout 0 "heartbeat";
+      deliver ~src:0 ~dst:1;
+      deliver ~src:1 ~dst:0;  (* entry replicated: both logs non-empty *)
+      timeout 1 "election";   (* n2 advertises last-log term 0 (wraft9) *)
+      deliver ~src:1 ~dst:0;
+      deliver ~src:0 ~dst:1 ]
+  in
+  let leader_role obs node =
+    match Tla.Value.field obs "nodes" with
+    | Some nodes -> (
+      match Tla.Value.find nodes (Tla.Value.str node) with
+      | Some rec_ -> Tla.Value.field rec_ "role"
+      | None -> None)
+    | None -> None
+  in
+  let final_role flags =
+    let spec = (R.find "wraft").spec (Bug.flags flags) in
+    match Script.run spec scenario script with
+    | Error f -> Alcotest.failf "script failed: %a" Script.pp_failure f
+    | Ok trace -> (
+      match Spec.observations_along spec scenario trace with
+      | Some observations ->
+        leader_role (List.nth observations (List.length observations - 1)) "n2"
+      | None -> Alcotest.fail "trace must replay")
+  in
+  Alcotest.(check bool) "wraft9 candidate stays unelected" true
+    (final_role [ "wraft9" ] = Some (Tla.Value.str "candidate"));
+  Alcotest.(check bool) "fixed candidate wins" true
+    (final_role [] = Some (Tla.Value.str "leader"))
+
+let suite =
+  ( "systems",
+    [ case "init nonempty" test_init_nonempty;
+      case "next deterministic" test_next_deterministic;
+      case "events uniquely identify transitions" test_events_unique;
+      case "permute identity" test_permute_identity;
+      case "canonical fingerprint class" test_permute_fingerprint_class;
+      case "observation shape" test_observe_has_nodes_and_net;
+      case "initial states satisfy invariants" test_initial_invariants_hold;
+      case "wraft9 blocks re-election (modeling bug)" test_wraft9_blocks_elections;
+      QCheck_alcotest.to_alcotest prop_walks_well_formed ] )

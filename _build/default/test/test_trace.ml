@@ -1,0 +1,76 @@
+open Sandtable
+
+let case name f = Alcotest.test_case name `Quick f
+
+let sample : Trace.t =
+  [ Trace.Timeout { node = 0; kind = "election" };
+    Trace.Deliver { src = 0; dst = 1; index = 0; desc = "RV(t1,l0:0)" };
+    Trace.Client { node = 0; op = "put:3" };
+    Trace.Partition { group = [ 0; 2 ] };
+    Trace.Crash { node = 1 };
+    Trace.Restart { node = 1 };
+    Trace.Heal;
+    Trace.Drop { src = 1; dst = 2; index = 1 };
+    Trace.Duplicate { src = 2; dst = 0; index = 0 } ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun e ->
+      match Trace.parse_event (Trace.serialize_event e) with
+      | Ok e' ->
+        Alcotest.(check bool)
+          (Trace.serialize_event e) true (Trace.equal_event e e')
+      | Error line -> Alcotest.failf "parse failed: %s" line)
+    sample
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "sandtable" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path sample;
+      match Trace.load path with
+      | Ok events ->
+        Alcotest.(check int) "length" (List.length sample) (List.length events);
+        List.iter2
+          (fun a b -> Alcotest.(check bool) "event" true (Trace.equal_event a b))
+          sample events
+      | Error line -> Alcotest.failf "load failed at %S" line)
+
+let test_parse_garbage () =
+  (match Trace.parse_event "frobnicate 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Trace.parse_event "timeout x election" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-integer node accepted"
+
+let test_desc_with_spaces () =
+  let e = Trace.Deliver { src = 0; dst = 1; index = 2; desc = "AE with spaces" } in
+  match Trace.parse_event (Trace.serialize_event e) with
+  | Ok (Trace.Deliver { desc; _ }) ->
+    Alcotest.(check string) "desc preserved" "AE with spaces" desc
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_equality_ignores_desc () =
+  let a = Trace.Deliver { src = 0; dst = 1; index = 0; desc = "x" } in
+  let b = Trace.Deliver { src = 0; dst = 1; index = 0; desc = "y" } in
+  Alcotest.(check bool) "desc ignored" true (Trace.equal_event a b);
+  let c = Trace.Deliver { src = 0; dst = 1; index = 1; desc = "x" } in
+  Alcotest.(check bool) "index significant" false (Trace.equal_event a c)
+
+let test_kinds () =
+  Alcotest.(check (list string))
+    "kind classes"
+    [ "timeout"; "deliver"; "client"; "partition"; "crash"; "restart";
+      "heal"; "drop"; "duplicate" ]
+    (List.map Trace.kind sample)
+
+let suite =
+  ( "trace",
+    [ case "event serialization roundtrip" test_event_roundtrip;
+      case "file save/load roundtrip" test_file_roundtrip;
+      case "garbage rejected" test_parse_garbage;
+      case "descriptor with spaces" test_desc_with_spaces;
+      case "equality semantics" test_equality_ignores_desc;
+      case "event kinds" test_kinds ] )

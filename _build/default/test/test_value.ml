@@ -1,0 +1,103 @@
+open Tla
+
+let case name f = Alcotest.test_case name `Quick f
+
+let test_record_sorted () =
+  let r = Value.record [ "z", Value.int 1; "a", Value.int 2 ] in
+  match r with
+  | Value.Record [ ("a", _); ("z", _) ] -> ()
+  | _ -> Alcotest.fail "record fields not sorted"
+
+let test_record_duplicate () =
+  Alcotest.check_raises "duplicate field"
+    (Invalid_argument "Value.record: duplicate field a") (fun () ->
+      ignore (Value.record [ "a", Value.int 1; "a", Value.int 2 ]))
+
+let test_set_dedup () =
+  match Value.set [ Value.int 2; Value.int 1; Value.int 2 ] with
+  | Value.Set [ Value.Int 1; Value.Int 2 ] -> ()
+  | v -> Alcotest.failf "set not deduped/sorted: %a" Value.pp v
+
+let test_map_lookup () =
+  let m = Value.map [ Value.str "k", Value.int 7 ] in
+  Alcotest.(check bool)
+    "found" true
+    (Value.find m (Value.str "k") = Some (Value.int 7));
+  Alcotest.(check bool) "missing" true (Value.find m (Value.str "x") = None)
+
+let test_field () =
+  let r = Value.record [ "x", Value.bool true ] in
+  Alcotest.(check bool) "field" true (Value.field r "x" = Some (Value.bool true));
+  Alcotest.(check bool) "no field" true (Value.field r "y" = None)
+
+let test_diff_equal () =
+  let v =
+    Value.record
+      [ "a", Value.seq [ Value.int 1; Value.int 2 ];
+        "b", Value.map [ Value.int 1, Value.str "x" ] ]
+  in
+  Alcotest.(check int) "no diffs" 0 (List.length (Value.diff ~expected:v ~actual:v))
+
+let test_diff_paths () =
+  let expected =
+    Value.record
+      [ "role", Value.str "leader";
+        "log", Value.seq [ Value.int 1; Value.int 2 ] ]
+  in
+  let actual =
+    Value.record
+      [ "role", Value.str "follower"; "log", Value.seq [ Value.int 1 ] ]
+  in
+  let diffs = Value.diff ~expected ~actual in
+  let paths = List.map (fun (d : Value.diff) -> d.path) diffs in
+  Alcotest.(check bool) "role diff" true (List.mem "$.role" paths);
+  Alcotest.(check bool) "log element diff" true (List.mem "$.log[1]" paths)
+
+let test_diff_missing_field () =
+  let expected = Value.record [ "a", Value.int 1; "b", Value.int 2 ] in
+  let actual = Value.record [ "a", Value.int 1 ] in
+  match Value.diff ~expected ~actual with
+  | [ { path = "$.b"; expected = Some _; actual = None } ] -> ()
+  | ds -> Alcotest.failf "unexpected diffs (%d)" (List.length ds)
+
+(* random value generator for property tests *)
+let rec gen_value depth =
+  let open QCheck2.Gen in
+  if depth = 0 then
+    oneof
+      [ map Value.bool bool;
+        map Value.int (int_range (-5) 5);
+        map Value.str (string_size ~gen:(char_range 'a' 'e') (int_range 0 3)) ]
+  else
+    oneof
+      [ map Value.set (list_size (int_range 0 3) (gen_value (depth - 1)));
+        map Value.seq (list_size (int_range 0 3) (gen_value (depth - 1)));
+        map Value.int (int_range (-5) 5) ]
+
+let prop_compare_reflexive =
+  QCheck2.Test.make ~name:"compare reflexive" ~count:200 (gen_value 2)
+    (fun v -> Value.compare v v = 0)
+
+let prop_diff_iff_unequal =
+  QCheck2.Test.make ~name:"diff empty iff equal" ~count:200
+    (QCheck2.Gen.pair (gen_value 2) (gen_value 2)) (fun (a, b) ->
+      Value.equal a b = (Value.diff ~expected:a ~actual:b = []))
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"compare antisymmetric" ~count:200
+    (QCheck2.Gen.pair (gen_value 2) (gen_value 2)) (fun (a, b) ->
+      Value.compare a b = -Value.compare b a)
+
+let suite =
+  ( "tla.value",
+    [ case "record fields sorted" test_record_sorted;
+      case "record duplicate rejected" test_record_duplicate;
+      case "set dedup" test_set_dedup;
+      case "map lookup" test_map_lookup;
+      case "record field projection" test_field;
+      case "diff of equal values" test_diff_equal;
+      case "diff paths" test_diff_paths;
+      case "diff missing field" test_diff_missing_field;
+      QCheck_alcotest.to_alcotest prop_compare_reflexive;
+      QCheck_alcotest.to_alcotest prop_diff_iff_unequal;
+      QCheck_alcotest.to_alcotest prop_compare_antisym ] )
