@@ -34,6 +34,15 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let workers_arg =
+  let doc =
+    "Worker domains for parallel exploration/simulation (default 1 = the \
+     sequential engine; 0 = one per core)."
+  in
+  Arg.(value & opt int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+
+let resolve_workers = function 0 -> Domain.recommended_domain_count () | n -> max 1 n
+
 let resolve name = try Ok (R.find name) with Not_found ->
   Error (`Msg (Fmt.str "unknown system %s (try: %s)" name
                  (String.concat ", " R.names)))
@@ -58,13 +67,20 @@ let with_system name bugs f =
 (* --- check: specification-level model checking ----------------------- *)
 
 let check_cmd =
-  let run name bugs time nodes =
+  let run name bugs time nodes workers =
     with_system name bugs (fun sys flags ->
         let scenario = scenario_of sys nodes in
+        let workers = resolve_workers workers in
         Fmt.pr "model checking %s on %a@." sys.name Scenario.pp scenario;
+        let opts = { Explorer.default with time_budget = Some time } in
         let result =
-          Explorer.check (sys.spec flags) scenario
-            { Explorer.default with time_budget = Some time }
+          if workers = 1 then Explorer.check (sys.spec flags) scenario opts
+          else begin
+            let r = Par.Par_explorer.check ~workers (sys.spec flags) scenario opts in
+            Fmt.pr "parallel BFS: %d workers, %d layers@." r.workers r.layers;
+            Fmt.pr "%a" Par.Par_explorer.pp_worker_stats r;
+            r.base
+          end
         in
         Fmt.pr "%a@." Explorer.pp_result result;
         match result.outcome with
@@ -82,7 +98,9 @@ let check_cmd =
   in
   let doc = "Model-check a system's specification (BFS) and confirm bugs." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg)
+    Term.(
+      const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg
+      $ workers_arg)
 
 (* --- simulate: random walks ------------------------------------------ *)
 
@@ -90,20 +108,32 @@ let walks_arg =
   Arg.(value & opt int 100 & info [ "walks" ] ~docv:"N" ~doc:"Walk count.")
 
 let simulate_cmd =
-  let run name bugs walks seed nodes =
+  let run name bugs walks seed nodes workers =
     with_system name bugs (fun sys flags ->
         let scenario = scenario_of sys nodes in
+        let workers = resolve_workers workers in
+        let opts = { Simulate.default with max_depth = 60 } in
         let ws =
-          Simulate.walks (sys.spec flags) scenario
-            { Simulate.default with max_depth = 60 }
-            ~seed ~count:walks
+          if workers = 1 then
+            Simulate.walks (sys.spec flags) scenario opts ~seed ~count:walks
+          else begin
+            let ws, stats =
+              Par.Par_simulate.walks_with_stats ~workers (sys.spec flags)
+                scenario opts ~seed ~count:walks
+            in
+            Fmt.pr "parallel simulation: %d workers@." workers;
+            Fmt.pr "%a" Par.Par_simulate.pp_worker_stats stats;
+            ws
+          end
         in
         Fmt.pr "%a@." Simulate.pp_aggregate (Simulate.aggregate ws);
         0)
   in
   let doc = "Random-walk the specification (TLC simulation mode)." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ system_arg $ bugs_arg $ walks_arg $ seed_arg $ nodes_arg)
+    Term.(
+      const run $ system_arg $ bugs_arg $ walks_arg $ seed_arg $ nodes_arg
+      $ workers_arg)
 
 (* --- conform: conformance checking ------------------------------------ *)
 
@@ -111,16 +141,28 @@ let rounds_arg =
   Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Walk rounds.")
 
 let conform_cmd =
-  let run name bugs rounds seed nodes =
+  let run name bugs rounds seed nodes workers =
     with_system name bugs (fun sys flags ->
+        let workers = resolve_workers workers in
         let scenario = scenario_of sys nodes in
         (* the spec models the fixed protocol; flags select impl bugs *)
+        let spec = sys.spec Bug.Flags.empty in
+        let walk_source =
+          (* replay stays sequential either way; workers>1 pre-generates the
+             spec-level walks on a domain pool *)
+          if workers > 1 then
+            Some (Par.Par_simulate.conformance_source ~workers spec scenario
+                    ~seed)
+          else None
+        in
         let report =
-          Conformance.run ~mask:Systems.Common.conformance_mask
-            (sys.spec Bug.Flags.empty)
+          Conformance.run ~mask:Systems.Common.conformance_mask ?walk_source
+            spec
             ~boot:(fun sc -> sys.sut flags None sc)
             scenario ~rounds ~seed
         in
+        if workers > 1 then
+          Fmt.pr "walk generation: %d workers (replay sequential)@." workers;
         Fmt.pr "%a@." Conformance.pp_report report;
         match report.discrepancy with Some _ -> 2 | None -> 0)
   in
@@ -129,7 +171,9 @@ let conform_cmd =
      implementation."
   in
   Cmd.v (Cmd.info "conform" ~doc)
-    Term.(const run $ system_arg $ bugs_arg $ rounds_arg $ seed_arg $ nodes_arg)
+    Term.(
+      const run $ system_arg $ bugs_arg $ rounds_arg $ seed_arg $ nodes_arg
+      $ workers_arg)
 
 (* --- rank: Algorithm 1 ------------------------------------------------ *)
 

@@ -68,8 +68,8 @@ let replay_walk ~mask ~boot scenario round (walk : Simulate.walk) =
   in
   step 0 walk.events walk.observations
 
-let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget spec ~boot scenario
-    ~rounds ~seed =
+let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget ?walk_source spec
+    ~boot scenario ~rounds ~seed =
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) time_budget in
   let rng = Random.State.make [| seed |] in
@@ -77,6 +77,11 @@ let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget spec ~boot scenario
     { Simulate.max_depth = walk_depth;
       record_observations = true;
       stop_on_violation = false }
+  in
+  let next_walk =
+    match walk_source with
+    | Some source -> fun round -> source walk_opts round
+    | None -> fun _round -> Simulate.walk spec scenario walk_opts rng
   in
   let rec loop round total_events =
     let expired =
@@ -90,7 +95,7 @@ let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget spec ~boot scenario
         discrepancy = None;
         duration = Unix.gettimeofday () -. started }
     else
-      let walk = Simulate.walk spec scenario walk_opts rng in
+      let walk = next_walk round in
       match replay_walk ~mask ~boot scenario round walk with
       | Some d ->
         { rounds_run = round;

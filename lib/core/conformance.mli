@@ -45,6 +45,7 @@ val run :
   ?mask:(Tla.Value.t -> Tla.Value.t) ->
   ?walk_depth:int ->
   ?time_budget:float ->
+  ?walk_source:(Simulate.options -> int -> Simulate.walk) ->
   Spec.t ->
   boot:(Scenario.t -> sut) ->
   Scenario.t ->
@@ -53,4 +54,9 @@ val run :
   report
 (** [mask] projects the spec observation down to the variables the
     implementation can expose (API- or log-observable ones); default is the
-    identity. Stops at the first discrepancy. *)
+    identity. Stops at the first discrepancy.
+
+    [walk_source opts round] overrides walk generation (rounds are 1-based);
+    the default draws sequential walks seeded with [seed]. The parallel
+    engine plugs in here ([Par.Par_simulate.conformance_source]) to generate
+    walks on worker domains while replay stays sequential. *)

@@ -2,18 +2,21 @@ module Sset = Set.Make (String)
 
 type t = Sset.t
 
-let current : Sset.t ref option ref = ref None
+(* Collector slots are domain-local so that parallel simulation workers
+   (lib/par) each observe only their own walk's branches. *)
+let current : Sset.t ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let hit branch =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some acc -> acc := Sset.add branch !acc
 
 let collect f =
-  let saved = !current in
+  let saved = Domain.DLS.get current in
   let acc = ref Sset.empty in
-  current := Some acc;
-  Fun.protect ~finally:(fun () -> current := saved) (fun () ->
+  Domain.DLS.set current (Some acc);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) (fun () ->
       let result = f () in
       result, !acc)
 

@@ -55,9 +55,9 @@ module Run (S : Spec.S) = struct
 
   let fingerprint opts scenario state =
     if opts.symmetry && S.permutable then
-      Symmetry.canonical_fp ~permute:S.permute ~nodes:scenario.Scenario.nodes
-        state
-    else Fingerprint.of_state state
+      Symmetry.canonical_fp ~who:S.name ~permute:S.permute
+        ~nodes:scenario.Scenario.nodes state
+    else Fingerprint.of_state ~who:S.name state
 
   (* Walk provenance back to a root, returning (init_index, events). *)
   let trace_of visited fp =

@@ -1,6 +1,16 @@
 type t = string
 
-let of_state state = Digest.string (Marshal.to_string state [])
+let of_state ?who state =
+  try Digest.string (Marshal.to_string state []) with
+  | Invalid_argument reason ->
+    let spec = match who with Some s -> " of spec " ^ s | None -> "" in
+    invalid_arg
+      (Printf.sprintf
+         "Fingerprint.of_state: state%s is not pure data (%s); specification \
+          states must not contain closures, lazy values or other \
+          unmarshallable components"
+         spec reason)
+
 let to_hex = Digest.to_hex
 let equal = String.equal
 let compare = String.compare
@@ -16,3 +26,8 @@ module Tbl = Hashtbl.Make (struct
     lor (Char.code fp.[2] lsl 16) lor (Char.code fp.[3] lsl 24)
     lor ((Char.code fp.[4] land 0x3f) lsl 32)
 end)
+
+(* The sharded store (lib/par) partitions fingerprints by their *high* bytes
+   so that shard choice stays independent of [Tbl]'s bucket hash above. *)
+let shard_key fp ~mask =
+  (Char.code fp.[15] lor (Char.code fp.[14] lsl 8)) land mask

@@ -7,9 +7,18 @@
 
 type t = string  (** 16 raw bytes *)
 
-val of_state : 'a -> t
+val of_state : ?who:string -> 'a -> t
+(** [of_state ?who state] digests the marshalled [state]. If the state
+    contains unmarshallable values (closures, lazy thunks), raises
+    [Invalid_argument] with a message naming the offending spec [who]. *)
+
 val to_hex : t -> string
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
 module Tbl : Hashtbl.S with type key = t
+
+val shard_key : t -> mask:int -> int
+(** [shard_key fp ~mask] selects a shard index from the top fingerprint
+    bytes ([mask] must be [2{^k}-1], [k <= 16]). Uses different bytes than
+    [Tbl]'s bucket hash so per-shard tables stay uniformly filled. *)

@@ -13,21 +13,25 @@ let permutations n =
   let identity = Array.init n Fun.id in
   identity :: List.filter (fun p -> p <> identity) arrays
 
-(* Cache permutation lists: canonical_fp is the BFS hot path. *)
-let perm_cache : (int, int array list) Hashtbl.t = Hashtbl.create 8
+(* Cache permutation lists: canonical_fp is the BFS hot path. The cache is a
+   snapshot-swapped immutable assoc list so concurrent domains can read it
+   without locking (a lost race merely recomputes a permutation list). *)
+let perm_cache : (int * int array list) list Atomic.t = Atomic.make []
 
-let cached_permutations n =
-  match Hashtbl.find_opt perm_cache n with
+let rec cached_permutations n =
+  match List.assoc_opt n (Atomic.get perm_cache) with
   | Some ps -> ps
   | None ->
     let ps = permutations n in
-    Hashtbl.add perm_cache n ps;
-    ps
+    let cur = Atomic.get perm_cache in
+    if List.mem_assoc n cur then List.assoc n cur
+    else if Atomic.compare_and_set perm_cache cur ((n, ps) :: cur) then ps
+    else cached_permutations n
 
-let canonical_fp ~permute ~nodes state =
-  let best = ref (Fingerprint.of_state state) in
+let canonical_fp ?who ~permute ~nodes state =
+  let best = ref (Fingerprint.of_state ?who state) in
   let try_perm p =
-    let fp = Fingerprint.of_state (permute p state) in
+    let fp = Fingerprint.of_state ?who (permute p state) in
     if Fingerprint.compare fp !best < 0 then best := fp
   in
   (match cached_permutations nodes with

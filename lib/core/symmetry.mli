@@ -6,5 +6,8 @@ val permutations : int -> int array list
 (** All permutations of [0 .. n-1]; the identity comes first. *)
 
 val canonical_fp :
-  permute:(int array -> 's -> 's) -> nodes:int -> 's -> Fingerprint.t
-(** Minimal fingerprint over all node permutations of the state. *)
+  ?who:string -> permute:(int array -> 's -> 's) -> nodes:int -> 's ->
+  Fingerprint.t
+(** Minimal fingerprint over all node permutations of the state. [who] names
+    the spec in fingerprinting error messages. Safe to call from concurrent
+    domains (the permutation cache is lock-free). *)

@@ -1,0 +1,347 @@
+open Sandtable
+
+type worker_stat = {
+  w_expanded : int;
+  w_generated : int;
+  w_inserted : int;
+  w_busy : float;
+}
+
+type result = {
+  base : Explorer.result;
+  workers : int;
+  layers : int;
+  worker_stats : worker_stat array;
+  shard_stats : Shard_set.stat array;
+}
+
+type provenance =
+  | Root of int
+  | Step of { parent : Fingerprint.t; event : Trace.event }
+
+(* [pos] is the state's discovery position within its layer — (frontier
+   index of the parent, successor index) — i.e. the order sequential BFS
+   would first reach it. [merge] keeps the minimal (depth, pos) entry, so
+   provenance chains, violation choice and early-stop accounting all
+   coincide with the sequential explorer regardless of worker count. *)
+type entry = { prov : provenance; depth : int; pos : int * int }
+
+let better a b =
+  if a.depth < b.depth then a
+  else if b.depth < a.depth then b
+  else if compare a.pos b.pos <= 0 then a
+  else b
+
+type candidate =
+  | Broken of Fingerprint.t * string  (* newly inserted state, invariant *)
+  | Dead of int * Fingerprint.t  (* frontier index with no successors *)
+
+module Run (S : Spec.S) = struct
+  let fingerprint (opts : Explorer.options) (scenario : Scenario.t) state =
+    if opts.symmetry && S.permutable then
+      Symmetry.canonical_fp ~who:S.name ~permute:S.permute
+        ~nodes:scenario.Scenario.nodes state
+    else Fingerprint.of_state ~who:S.name state
+
+  let final_state scenario init_index events =
+    let s0 = List.nth (S.init scenario) init_index in
+    List.fold_left
+      (fun state event ->
+        match
+          List.find_map
+            (fun (e, s') -> if Trace.equal_event e event then Some s' else None)
+            (S.next scenario state)
+        with
+        | Some s' -> s'
+        | None -> invalid_arg "Par_explorer: unreplayable provenance chain")
+      s0 events
+
+  let check pool scenario (opts : Explorer.options) =
+    let started = Unix.gettimeofday () in
+    let elapsed () = Unix.gettimeofday () -. started in
+    let workers = Pool.size pool in
+    let visited : entry Shard_set.t = Shard_set.create ~shards:64 () in
+    let deadline = Option.map (fun b -> started +. b) opts.time_budget in
+    let selected_invariants =
+      match opts.only_invariants with
+      | None -> S.invariants
+      | Some names ->
+        List.filter (fun (name, _) -> List.mem name names) S.invariants
+    in
+    let first_broken state =
+      List.find_map
+        (fun (name, holds) ->
+          if holds scenario state then None else Some name)
+        selected_invariants
+    in
+    let trace_of fp =
+      let rec back fp acc =
+        match (Shard_set.find visited fp).prov with
+        | Root i -> i, acc
+        | Step { parent; event } -> back parent (event :: acc)
+      in
+      back fp []
+    in
+    let violation_of fp invariant depth : Explorer.violation =
+      let init_index, events = trace_of fp in
+      let state = final_state scenario init_index events in
+      { invariant; events; depth;
+        state_repr = Fmt.str "%a" S.pp_state state }
+    in
+    (* per-worker accumulators, disjointly indexed; the pool barrier
+       publishes them to the coordinating domain *)
+    let st_expanded = Array.make workers 0 in
+    let st_generated = Array.make workers 0 in
+    let st_inserted = Array.make workers 0 in
+    let st_busy = Array.make workers 0. in
+    let distinct_total = ref 0 in
+    let gen_prev = ref 0 in
+    let max_depth_seen = ref 0 in
+    let layers = ref 0 in
+    let last_progress = ref 0 in
+    let progress_tick depth =
+      if opts.progress_every > 0 then begin
+        let n = !distinct_total in
+        if n / opts.progress_every > !last_progress / opts.progress_every then begin
+          last_progress := n;
+          Option.iter
+            (fun f ->
+              f { Explorer.distinct = n; generated = !gen_prev; depth;
+                  elapsed = elapsed () })
+            opts.progress
+        end
+      end
+    in
+    (* ---- roots: discovered in order, exactly like sequential BFS ---- *)
+    let outcome = ref None in
+    let frontier = ref [||] in
+    let root_frontier = ref [] in
+    List.iteri
+      (fun i s ->
+        if !outcome = None then begin
+          let fp = fingerprint opts scenario s in
+          let e = { prov = Root i; depth = 0; pos = 0, i } in
+          if Shard_set.add_if_absent visited fp e then begin
+            incr distinct_total;
+            (match first_broken s with
+            | Some inv when opts.stop_on_violation ->
+              outcome := Some (Explorer.Violation (violation_of fp inv 0))
+            | Some _ | None ->
+              if S.constraint_ok scenario s then
+                root_frontier := (s, fp) :: !root_frontier)
+          end
+        end)
+      (S.init scenario);
+    frontier := Array.of_list (List.rev !root_frontier);
+    (* ---- layer-synchronous BFS ---- *)
+    let depth = ref 0 in
+    let abort = Atomic.make false in
+    while !outcome = None && Array.length !frontier > 0 do
+      let d = !depth in
+      let over_layer_budget =
+        (match opts.max_states with
+        | Some m -> !distinct_total >= m
+        | None -> false)
+        || (match opts.max_depth with Some md -> d > md | None -> false)
+        ||
+        match deadline with
+        | Some t -> Unix.gettimeofday () > t
+        | None -> false
+      in
+      if over_layer_budget then outcome := Some Explorer.Budget_spent
+      else begin
+        let fr = !frontier in
+        let n = Array.length fr in
+        let ranges = Array.of_list (Pool.split ~chunks:workers ~len:n) in
+        let succ_counts = Array.make n 0 in
+        let inserted : (Fingerprint.t * S.state option) list array =
+          Array.make workers []
+        in
+        let cands : candidate list array = Array.make workers [] in
+        let layer_gen = Array.make workers 0 in
+        Pool.run pool (fun w ->
+            if w < Array.length ranges then begin
+              let lo, hi = ranges.(w) in
+              let t0 = Unix.gettimeofday () in
+              let my_inserted = ref [] in
+              let my_cands = ref [] in
+              let gen = ref 0 in
+              let ins = ref 0 in
+              let expanded = ref 0 in
+              (try
+                 for p = lo to hi - 1 do
+                   if Atomic.get abort then raise Exit;
+                   let state, fp = fr.(p) in
+                   incr expanded;
+                   let succs = S.next scenario state in
+                   succ_counts.(p) <- List.length succs;
+                   if succs = [] && opts.check_deadlock then
+                     my_cands := Dead (p, fp) :: !my_cands;
+                   List.iteri
+                     (fun j (event, state') ->
+                       incr gen;
+                       let fp' = fingerprint opts scenario state' in
+                       let e =
+                         { prov = Step { parent = fp; event };
+                           depth = d + 1;
+                           pos = p, j }
+                       in
+                       if Shard_set.merge visited fp' e ~keep:better then begin
+                         incr ins;
+                         let keep_state =
+                           if S.constraint_ok scenario state' then Some state'
+                           else None
+                         in
+                         my_inserted := (fp', keep_state) :: !my_inserted;
+                         if opts.stop_on_violation then
+                           match first_broken state' with
+                           | Some inv ->
+                             my_cands := Broken (fp', inv) :: !my_cands
+                           | None -> ()
+                       end)
+                     succs;
+                   match deadline with
+                   | Some t
+                     when (p - lo) land 63 = 63 && Unix.gettimeofday () > t ->
+                     Atomic.set abort true
+                   | _ -> ()
+                 done
+               with Exit -> ());
+              inserted.(w) <- !my_inserted;
+              cands.(w) <- !my_cands;
+              layer_gen.(w) <- !gen;
+              st_expanded.(w) <- st_expanded.(w) + !expanded;
+              st_generated.(w) <- st_generated.(w) + !gen;
+              st_inserted.(w) <- st_inserted.(w) + !ins;
+              st_busy.(w) <- st_busy.(w) +. (Unix.gettimeofday () -. t0)
+            end);
+        let all_inserted =
+          Array.fold_right (fun l acc -> List.rev_append l acc) inserted []
+        in
+        let layer_generated = Array.fold_left ( + ) 0 layer_gen in
+        if Atomic.get abort then begin
+          (* mid-layer deadline: report what actually got explored *)
+          distinct_total := !distinct_total + List.length all_inserted;
+          gen_prev := !gen_prev + layer_generated;
+          if all_inserted <> [] then max_depth_seen := d + 1;
+          outcome := Some Explorer.Budget_spent
+        end
+        else begin
+          incr layers;
+          (* earliest candidate in sequential discovery order wins: a
+             deadlock at frontier index p orders as (p, -1), before any
+             successor (p, j) of the same state *)
+          let key = function
+            | Dead (p, _) -> p, -1
+            | Broken (fp, _) -> (Shard_set.find visited fp).pos
+          in
+          let best =
+            Array.fold_left
+              (fun acc l ->
+                List.fold_left
+                  (fun acc c ->
+                    match acc with
+                    | None -> Some c
+                    | Some b -> if compare (key c) (key b) < 0 then Some c
+                                else acc)
+                  acc l)
+              None cands
+          in
+          match best with
+          | Some cand ->
+            (* reconstruct the exact counters sequential BFS would have
+               reported when it raised Stop at this discovery position *)
+            let vpos = key cand in
+            let before =
+              List.length
+                (List.filter
+                   (fun (fp, _) ->
+                     compare (Shard_set.find visited fp).pos vpos <= 0)
+                   all_inserted)
+            in
+            distinct_total := !distinct_total + before;
+            let p, j = vpos in
+            let gen_here = ref 0 in
+            for q = 0 to p - 1 do
+              gen_here := !gen_here + succ_counts.(q)
+            done;
+            gen_prev := !gen_prev + !gen_here + (if j >= 0 then j + 1 else 0);
+            if before > 0 then max_depth_seen := d + 1;
+            outcome :=
+              Some
+                (match cand with
+                | Broken (fp, inv) ->
+                  Explorer.Violation (violation_of fp inv (d + 1))
+                | Dead (_, fp) ->
+                  let _, events = trace_of fp in
+                  Explorer.Deadlock events)
+          | None ->
+            distinct_total := !distinct_total + List.length all_inserted;
+            gen_prev := !gen_prev + layer_generated;
+            if all_inserted <> [] then max_depth_seen := d + 1;
+            let next =
+              List.filter_map
+                (fun (fp, state) ->
+                  Option.map
+                    (fun s -> (Shard_set.find visited fp).pos, s, fp)
+                    state)
+                all_inserted
+            in
+            let next =
+              List.sort (fun (a, _, _) (b, _, _) -> compare a b) next
+            in
+            frontier := Array.of_list (List.map (fun (_, s, fp) -> s, fp) next);
+            depth := d + 1;
+            progress_tick (d + 1)
+        end
+      end
+    done;
+    let outcome =
+      match !outcome with Some o -> o | None -> Explorer.Exhausted
+    in
+    let worker_stats =
+      Array.init workers (fun w ->
+          { w_expanded = st_expanded.(w);
+            w_generated = st_generated.(w);
+            w_inserted = st_inserted.(w);
+            w_busy = st_busy.(w) })
+    in
+    { base =
+        { Explorer.outcome;
+          distinct = !distinct_total;
+          generated = !gen_prev;
+          max_depth = !max_depth_seen;
+          duration = elapsed () };
+      workers;
+      layers = !layers;
+      worker_stats;
+      shard_stats = Shard_set.stats visited }
+end
+
+let check ?workers ?pool (module S : Spec.S) scenario opts =
+  let module R = Run (S) in
+  match pool with
+  | Some p -> R.check p scenario opts
+  | None ->
+    let w =
+      match workers with
+      | Some w -> max 1 w
+      | None -> Domain.recommended_domain_count ()
+    in
+    Pool.with_pool w (fun p -> R.check p scenario opts)
+
+let states_per_sec ws =
+  if ws.w_busy <= 0. then 0. else float ws.w_generated /. ws.w_busy
+
+let pp_worker_stats ppf r =
+  Array.iteri
+    (fun w ws ->
+      Fmt.pf ppf "worker %d: expanded=%d generated=%d inserted=%d busy=%.2fs \
+                  (%.0f states/s)@."
+        w ws.w_expanded ws.w_generated ws.w_inserted ws.w_busy
+        (states_per_sec ws))
+    r.worker_stats
+
+let pp_result ppf r =
+  Fmt.pf ppf "%a@.%d workers, %d layers@.%a" Explorer.pp_result r.base
+    r.workers r.layers pp_worker_stats r

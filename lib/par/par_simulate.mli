@@ -1,0 +1,40 @@
+(** Parallel random-walk simulation (TLC's multi-worker simulation mode).
+
+    Walk [i]'s RNG seed is derived deterministically from the root seed and
+    the walk index alone ({!derived_seed}, a SplitMix64-style stream split),
+    and walks are written back by index — so for a fixed root seed the
+    returned walk list (not just its multiset) is identical at every worker
+    count. Walks feed the existing conformance/ranking pipelines exactly
+    like [Sandtable.Simulate.walks] output. *)
+
+type worker_stat = {
+  ws_walks : int;
+  ws_events : int;  (** total events over this worker's walks *)
+  ws_busy : float;  (** seconds *)
+}
+
+val derived_seed : int -> int -> int
+(** [derived_seed root i]: the per-walk seed for walk [i]. *)
+
+val walks :
+  ?workers:int -> ?offset:int -> Sandtable.Spec.t -> Sandtable.Scenario.t ->
+  Sandtable.Simulate.options -> seed:int -> count:int ->
+  Sandtable.Simulate.walk list
+(** [workers] defaults to [Domain.recommended_domain_count ()]; [offset]
+    (default 0) shifts the walk indices, so [walks ~offset:k ~count:n] are
+    walks [k .. k+n-1] of the root seed's stream. *)
+
+val walks_with_stats :
+  ?workers:int -> ?offset:int -> Sandtable.Spec.t -> Sandtable.Scenario.t ->
+  Sandtable.Simulate.options -> seed:int -> count:int ->
+  Sandtable.Simulate.walk list * worker_stat array
+
+val conformance_source :
+  ?workers:int -> ?batch:int -> Sandtable.Spec.t -> Sandtable.Scenario.t ->
+  seed:int -> Sandtable.Simulate.options -> int -> Sandtable.Simulate.walk
+(** A [walk_source] for [Sandtable.Conformance.run]: generates walks on
+    worker domains in batches of [batch] (default 64) ahead of the
+    sequential implementation-level replay, caching them by round. *)
+
+val walks_per_sec : worker_stat -> float
+val pp_worker_stats : Format.formatter -> worker_stat array -> unit

@@ -1,0 +1,75 @@
+open Sandtable
+
+type 'a shard = {
+  lock : Mutex.t;
+  tbl : 'a Fingerprint.Tbl.t;
+  mutable hits : int;
+}
+
+type 'a t = { shards : 'a shard array; mask : int }
+
+type stat = { s_entries : int; s_hits : int }
+
+let rec power_of_two n = if n <= 1 then 1 else 2 * power_of_two ((n + 1) / 2)
+
+let create ?(shards = 64) () =
+  let n = min 65536 (power_of_two shards) in
+  { shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create ();
+            tbl = Fingerprint.Tbl.create 1024;
+            hits = 0 });
+    mask = n - 1 }
+
+let shard_count t = Array.length t.shards
+let shard_of t fp = t.shards.(Fingerprint.shard_key fp ~mask:t.mask)
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let merge t fp v ~keep =
+  let s = shard_of t fp in
+  locked s (fun () ->
+      match Fingerprint.Tbl.find_opt s.tbl fp with
+      | None ->
+        Fingerprint.Tbl.replace s.tbl fp v;
+        true
+      | Some old ->
+        s.hits <- s.hits + 1;
+        Fingerprint.Tbl.replace s.tbl fp (keep old v);
+        false)
+
+let add_if_absent t fp v = merge t fp v ~keep:(fun old _ -> old)
+
+let find_opt t fp =
+  let s = shard_of t fp in
+  locked s (fun () -> Fingerprint.Tbl.find_opt s.tbl fp)
+
+let find t fp =
+  match find_opt t fp with Some v -> v | None -> raise Not_found
+
+let mem t fp =
+  let s = shard_of t fp in
+  locked s (fun () -> Fingerprint.Tbl.mem s.tbl fp)
+
+let length t =
+  Array.fold_left
+    (fun n s -> n + locked s (fun () -> Fingerprint.Tbl.length s.tbl))
+    0 t.shards
+
+let stats t =
+  Array.map
+    (fun s ->
+      locked s (fun () ->
+          { s_entries = Fingerprint.Tbl.length s.tbl; s_hits = s.hits }))
+    t.shards
+
+let pp_stats ppf t =
+  let st = stats t in
+  let entries = Array.fold_left (fun n s -> n + s.s_entries) 0 st in
+  let hits = Array.fold_left (fun n s -> n + s.s_hits) 0 st in
+  let nonempty = Array.fold_left (fun n s -> n + min 1 s.s_entries) 0 st in
+  let biggest = Array.fold_left (fun n s -> max n s.s_entries) 0 st in
+  Fmt.pf ppf "%d shards (%d nonempty), %d entries (max/shard %d), %d dedup hits"
+    (Array.length st) nonempty entries biggest hits

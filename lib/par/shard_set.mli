@@ -1,0 +1,44 @@
+(** A sharded, mutex-guarded concurrent fingerprint store.
+
+    The TLC analogue is the shared fingerprint set its BFS workers
+    deduplicate against. Fingerprints are partitioned across [N] independent
+    shards by their high bytes ({!Sandtable.Fingerprint.shard_key}), so
+    concurrent inserts contend only 1/N of the time; each shard is an
+    ordinary hashtable behind its own mutex. *)
+
+type 'a t
+
+type stat = {
+  s_entries : int;  (** distinct fingerprints stored in the shard *)
+  s_hits : int;  (** dedup hits: inserts that found an existing entry *)
+}
+
+val create : ?shards:int -> unit -> 'a t
+(** [create ~shards ()] with [shards] rounded up to a power of two
+    (default 64, max 65536). *)
+
+val shard_count : 'a t -> int
+
+val merge : 'a t -> Sandtable.Fingerprint.t -> 'a -> keep:('a -> 'a -> 'a) ->
+  bool
+(** [merge t fp v ~keep] atomically inserts [v] under [fp] and returns
+    [true], or — if [fp] is already present with value [old] — stores
+    [keep old v] and returns [false]. The parallel explorer uses [keep] to
+    retain the entry with the smallest (depth, trace-order) discovery
+    position, which makes counterexample traces match sequential BFS. *)
+
+val add_if_absent : 'a t -> Sandtable.Fingerprint.t -> 'a -> bool
+(** [merge] keeping the existing entry. *)
+
+val find_opt : 'a t -> Sandtable.Fingerprint.t -> 'a option
+
+val find : 'a t -> Sandtable.Fingerprint.t -> 'a
+(** Like {!find_opt} but raises [Not_found] when absent. *)
+
+val mem : 'a t -> Sandtable.Fingerprint.t -> bool
+
+val length : 'a t -> int
+(** Total distinct fingerprints (locks each shard once). *)
+
+val stats : 'a t -> stat array
+val pp_stats : Format.formatter -> 'a t -> unit

@@ -232,6 +232,10 @@ let all =
 let find name = List.find (fun s -> String.equal s.name name) all
 let names = List.map (fun s -> s.name) all
 
+(* One cheap spec (pysyncobj) and one with a heavier state (raftos): enough
+   contrast for the worker-scaling benchmark without exploding its runtime. *)
+let scaling = [ pysyncobj; raftos ]
+
 let flags_of sys ids =
   let resolve id =
     if List.mem id sys.all_flags then [ id ]

@@ -49,6 +49,10 @@ val find : string -> t
 
 val names : string list
 
+val scaling : t list
+(** The subset exercised by the worker-scaling benchmark section (one cheap
+    spec, one heavier one). *)
+
 val flags_of : t -> string list -> Bug.Flags.t
 (** Resolve bug ids (["PySyncObj#4"]) or raw flags (["pso4"]) to a flag
     set. Unknown names raise [Invalid_argument]. *)

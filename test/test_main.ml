@@ -15,4 +15,5 @@ let () =
       Test_script.suite;
       Test_systems.suite;
       Test_conformance.suite;
+      Test_par.suite;
       Test_bugs.suite ]
