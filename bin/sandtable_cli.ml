@@ -36,8 +36,10 @@ let seed_arg =
 
 let workers_arg =
   let doc =
-    "Worker domains for parallel exploration/simulation (default 1 = the \
-     sequential engine; 0 = one per core)."
+    "Worker domains (default 1; 0 = one per core). Results do not depend on \
+     $(docv): check is bit-for-bit equivalent to the sequential engine, and \
+     simulate/conform walks are derived from --seed and the walk index \
+     alone."
   in
   Arg.(value & opt int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
 
@@ -113,19 +115,16 @@ let simulate_cmd =
         let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
         let opts = { Simulate.default with max_depth = 60 } in
-        let ws =
-          if workers = 1 then
-            Simulate.walks (sys.spec flags) scenario opts ~seed ~count:walks
-          else begin
-            let ws, stats =
-              Par.Par_simulate.walks_with_stats ~workers (sys.spec flags)
-                scenario opts ~seed ~count:walks
-            in
-            Fmt.pr "parallel simulation: %d workers@." workers;
-            Fmt.pr "%a" Par.Par_simulate.pp_worker_stats stats;
-            ws
-          end
+        (* Par_simulate at every worker count (1 spawns no domains): walk
+           [i] depends only on (--seed, i), so -j never changes the walks *)
+        let ws, stats =
+          Par.Par_simulate.walks_with_stats ~workers (sys.spec flags)
+            scenario opts ~seed ~count:walks
         in
+        if workers > 1 then begin
+          Fmt.pr "parallel simulation: %d workers@." workers;
+          Fmt.pr "%a" Par.Par_simulate.pp_worker_stats stats
+        end;
         Fmt.pr "%a@." Simulate.pp_aggregate (Simulate.aggregate ws);
         0)
   in
@@ -148,12 +147,11 @@ let conform_cmd =
         (* the spec models the fixed protocol; flags select impl bugs *)
         let spec = sys.spec Bug.Flags.empty in
         let walk_source =
-          (* replay stays sequential either way; workers>1 pre-generates the
-             spec-level walks on a domain pool *)
-          if workers > 1 then
-            Some (Par.Par_simulate.conformance_source ~workers spec scenario
-                    ~seed)
-          else None
+          (* walk [round] depends only on (--seed, round), so -j never
+             changes the report; workers>1 only pre-generates batches on a
+             domain pool while replay stays sequential *)
+          Some
+            (Par.Par_simulate.conformance_source ~workers spec scenario ~seed)
         in
         let report =
           Conformance.run ~mask:Systems.Common.conformance_mask ?walk_source

@@ -21,10 +21,15 @@ module Tbl = Hashtbl.Make (struct
   let equal = String.equal
 
   (* Fingerprints are uniformly random bytes: the first word is already a
-     good hash. *)
-  let hash fp = Char.code fp.[0] lor (Char.code fp.[1] lsl 8)
-    lor (Char.code fp.[2] lsl 16) lor (Char.code fp.[3] lsl 24)
-    lor ((Char.code fp.[4] land 0x3f) lsl 32)
+     good hash. A fifth byte widens it on 64-bit; on 32-bit an [lsl 32]
+     would exceed [Sys.int_size] (unspecified behavior), so stop at four. *)
+  let hash fp =
+    let lo =
+      Char.code fp.[0] lor (Char.code fp.[1] lsl 8)
+      lor (Char.code fp.[2] lsl 16) lor (Char.code fp.[3] lsl 24)
+    in
+    if Sys.int_size > 40 then lo lor ((Char.code fp.[4] land 0x3f) lsl 32)
+    else lo
 end)
 
 (* The sharded store (lib/par) partitions fingerprints by their *high* bytes

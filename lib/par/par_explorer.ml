@@ -19,24 +19,40 @@ type provenance =
   | Root of int
   | Step of { parent : Fingerprint.t; event : Trace.event }
 
-(* [pos] is the state's discovery position within its layer — (frontier
-   index of the parent, successor index) — i.e. the order sequential BFS
-   would first reach it. [merge] keeps the minimal (depth, pos) entry, so
-   provenance chains, violation choice and early-stop accounting all
-   coincide with the sequential explorer regardless of worker count. *)
-type entry = { prov : provenance; depth : int; pos : int * int }
-
-let better a b =
-  if a.depth < b.depth then a
-  else if b.depth < a.depth then b
-  else if compare a.pos b.pos <= 0 then a
-  else b
-
 type candidate =
   | Broken of Fingerprint.t * string  (* newly inserted state, invariant *)
   | Dead of int * Fingerprint.t  (* frontier index with no successors *)
 
 module Run (S : Spec.S) = struct
+  (* [pos] is the state's discovery position within its layer — (frontier
+     index of the parent, successor index) — i.e. the order sequential BFS
+     would first reach it. [merge] keeps the minimal (depth, pos) entry, so
+     provenance chains, violation choice and early-stop accounting all
+     coincide with the sequential explorer regardless of worker count.
+
+     [state] is the concrete state the entry's provenance chain replays to,
+     [Some] only for states in the layer currently being built. It must
+     live inside the entry: under symmetry reduction two distinct concrete
+     states canonicalize to the same fingerprint, and if the frontier kept
+     whichever variant won the insertion race while [merge] kept the
+     minimal-pos provenance, the next layer's events would be generated
+     from a state the stored chain does not replay to. Selecting state and
+     provenance together in [better] keeps them consistent; the barrier
+     checks the state constraint (winners only — checking every generated
+     candidate would be measurably slower) and clears [state] once the
+     next frontier is built, bounding memory to one layer of states. *)
+  type entry = {
+    prov : provenance;
+    depth : int;
+    pos : int * int;
+    mutable state : S.state option;
+  }
+
+  let better a b =
+    if a.depth < b.depth then a
+    else if b.depth < a.depth then b
+    else if compare a.pos b.pos <= 0 then a
+    else b
   let fingerprint (opts : Explorer.options) (scenario : Scenario.t) state =
     if opts.symmetry && S.permutable then
       Symmetry.canonical_fp ~who:S.name ~permute:S.permute
@@ -120,7 +136,7 @@ module Run (S : Spec.S) = struct
       (fun i s ->
         if !outcome = None then begin
           let fp = fingerprint opts scenario s in
-          let e = { prov = Root i; depth = 0; pos = 0, i } in
+          let e = { prov = Root i; depth = 0; pos = (0, i); state = None } in
           if Shard_set.add_if_absent visited fp e then begin
             incr distinct_total;
             (match first_broken s with
@@ -154,9 +170,7 @@ module Run (S : Spec.S) = struct
         let n = Array.length fr in
         let ranges = Array.of_list (Pool.split ~chunks:workers ~len:n) in
         let succ_counts = Array.make n 0 in
-        let inserted : (Fingerprint.t * S.state option) list array =
-          Array.make workers []
-        in
+        let inserted : Fingerprint.t list array = Array.make workers [] in
         let cands : candidate list array = Array.make workers [] in
         let layer_gen = Array.make workers 0 in
         Pool.run pool (fun w ->
@@ -184,15 +198,12 @@ module Run (S : Spec.S) = struct
                        let e =
                          { prov = Step { parent = fp; event };
                            depth = d + 1;
-                           pos = p, j }
+                           pos = (p, j);
+                           state = Some state' }
                        in
                        if Shard_set.merge visited fp' e ~keep:better then begin
                          incr ins;
-                         let keep_state =
-                           if S.constraint_ok scenario state' then Some state'
-                           else None
-                         in
-                         my_inserted := (fp', keep_state) :: !my_inserted;
+                         my_inserted := fp' :: !my_inserted;
                          if opts.stop_on_violation then
                            match first_broken state' with
                            | Some inv ->
@@ -255,7 +266,7 @@ module Run (S : Spec.S) = struct
             let before =
               List.length
                 (List.filter
-                   (fun (fp, _) ->
+                   (fun fp ->
                      compare (Shard_set.find visited fp).pos vpos <= 0)
                    all_inserted)
             in
@@ -279,12 +290,20 @@ module Run (S : Spec.S) = struct
             distinct_total := !distinct_total + List.length all_inserted;
             gen_prev := !gen_prev + layer_generated;
             if all_inserted <> [] then max_depth_seen := d + 1;
+            (* the table entry won the (depth, pos) merge, so its state is
+               the one its provenance replays to — use it, then drop it *)
             let next =
               List.filter_map
-                (fun (fp, state) ->
-                  Option.map
-                    (fun s -> (Shard_set.find visited fp).pos, s, fp)
-                    state)
+                (fun fp ->
+                  let e = Shard_set.find visited fp in
+                  let kept =
+                    match e.state with
+                    | Some s when S.constraint_ok scenario s ->
+                      Some (e.pos, s, fp)
+                    | Some _ | None -> None
+                  in
+                  e.state <- None;
+                  kept)
                 all_inserted
             in
             let next =

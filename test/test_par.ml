@@ -132,6 +132,38 @@ let test_buggy_system_equivalence () =
       | _ -> Alcotest.fail "parallel run must violate")
     worker_counts
 
+let test_symmetry_collision_provenance () =
+  (* regression: under symmetry reduction, distinct concrete states collide
+     on one canonical fingerprint within a layer; the frontier must carry
+     the variant whose provenance the table kept (the minimal-pos one) or
+     violation replay crashes ("unreplayable provenance chain") / reports a
+     variant the sequential engine would not. The race only opens at >= 2
+     workers, so repeat the run to widen its window. *)
+  let scenario = Toy_spec.scenario ~nodes:4 ~timeouts:10 in
+  let spec = Toy_spec.spec ~limit:5 () in
+  let opts = { Explorer.default with symmetry = true } in
+  let seq = Explorer.check spec scenario opts in
+  let sv =
+    match seq.outcome with
+    | Explorer.Violation v -> v
+    | _ -> Alcotest.fail "sequential run must violate"
+  in
+  for round = 1 to 10 do
+    List.iter
+      (fun workers ->
+        let par = Par.Par_explorer.check ~workers spec scenario opts in
+        match par.base.outcome with
+        | Explorer.Violation pv ->
+          let l = Fmt.str "round %d workers=%d" round workers in
+          Alcotest.(check string) (l ^ " state") sv.state_repr pv.state_repr;
+          Alcotest.(check bool) (l ^ " trace") true
+            (List.length sv.events = List.length pv.events
+            && List.for_all2 Trace.equal_event sv.events pv.events);
+          check_counters (l ^ " counters") seq par
+        | _ -> Alcotest.fail "parallel run must violate")
+      [ 2; 4 ]
+  done
+
 let test_simulate_seed_stable () =
   let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:8 in
   let spec = Toy_spec.spec ~limit:6 () in
@@ -250,6 +282,8 @@ let suite =
       case "toy deadlock equivalence" test_toy_deadlock_equivalence;
       case "depth budget equivalence" test_toy_depth_budget_equivalence;
       case "buggy registry system equivalence" test_buggy_system_equivalence;
+      case "symmetry-collision provenance stays replayable"
+        test_symmetry_collision_provenance;
       case "simulation is seed-stable across worker counts"
         test_simulate_seed_stable;
       case "parallel walks aggregate like sequential ones"
