@@ -37,6 +37,7 @@ type bench_entry = {
   be_generated : int;
   be_wall_s : float;
   be_outcome : string;
+  be_extra : (string * float) list;  (** section-specific numeric fields *)
 }
 
 let bench_entries : bench_entry list ref = ref []
@@ -69,13 +70,19 @@ let write_bench_json () =
     p "  \"sections\": [\n";
     List.iteri
       (fun i e ->
+        let extra =
+          String.concat ""
+            (List.map
+               (fun (k, v) -> Printf.sprintf ", \"%s\": %g" k v)
+               e.be_extra)
+        in
         p
           "    { \"section\": %S, \"system\": %S, \"workers\": %d, \
            \"distinct\": %d, \"generated\": %d, \"states_per_sec\": %.1f, \
-           \"wall_s\": %.3f, \"outcome\": %S }%s\n"
+           \"wall_s\": %.3f, \"outcome\": %S%s }%s\n"
           e.be_section e.be_system e.be_workers e.be_distinct e.be_generated
           (states_per_sec e.be_distinct e.be_wall_s)
-          e.be_wall_s e.be_outcome
+          e.be_wall_s e.be_outcome extra
           (if i = List.length entries - 1 then "" else ","))
       entries;
     p "  ]\n}\n";
@@ -306,11 +313,13 @@ let table3 () =
       record_entry
         { be_section = "table3-exp1"; be_system = sys.name; be_workers = 1;
           be_distinct = e1.distinct; be_generated = e1.generated;
-          be_wall_s = e1.duration; be_outcome = outcome_tag e1.outcome };
+          be_wall_s = e1.duration; be_outcome = outcome_tag e1.outcome;
+          be_extra = [] };
       record_entry
         { be_section = "table3-exp2"; be_system = sys.name; be_workers = 1;
           be_distinct = e2.distinct; be_generated = e2.generated;
-          be_wall_s = e2.duration; be_outcome = outcome_tag e2.outcome };
+          be_wall_s = e2.duration; be_outcome = outcome_tag e2.outcome;
+          be_extra = [] };
       row widths
         [ sys.name;
           e1_time;
@@ -554,7 +563,8 @@ let scaling () =
           record_entry
             { be_section = "scaling"; be_system = sys.name; be_workers = workers;
               be_distinct = r.distinct; be_generated = r.generated;
-              be_wall_s = r.duration; be_outcome = outcome_tag r.outcome };
+              be_wall_s = r.duration; be_outcome = outcome_tag r.outcome;
+              be_extra = [] };
           row widths
             [ sys.name;
               string_of_int workers;
@@ -572,6 +582,92 @@ let scaling () =
      BFS over a %d-shard fingerprint store; identical distinct counts across \
      rows of a system confirm sequential-equivalence)@."
     64
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint overhead: lib/store periodic checkpoints vs none          *)
+(* ------------------------------------------------------------------ *)
+
+(* One exhaustive BFS per checkpoint interval over the same scenario.
+   Interval 0 is the no-checkpoint baseline. Overhead% is the time spent
+   inside checkpoint writes relative to the baseline's exploration wall
+   time: raw wall-to-wall deltas at this scale (<1s) are dominated by
+   scheduler noise, while the write time itself is stable (same state
+   space, same bytes written every run). *)
+let checkpoint_bench () =
+  section_header "Checkpoint overhead: periodic lib/store checkpoints";
+  let spec = Systems.Pysyncobj.spec () in
+  let scenario =
+    Scenario.v ~name:"ckpt-bench" ~nodes:2 ~workload:[ 1 ]
+      [ "timeouts", 6; "requests", 2; "crashes", 1; "restarts", 1;
+        "partitions", 0; "buffer", 4 ]
+  in
+  let base_opts =
+    { Explorer.default with time_budget = Some (budget 120.) }
+  in
+  let identity = Store.Checkpoint.identity spec scenario base_opts in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sandtable-bench-ckpt-%d" (Unix.getpid ()))
+  in
+  let widths = [ 9; 9; 11; 12; 11; 12; 10 ] in
+  row widths
+    [ "Interval"; "Ckpts"; "Ckpt bytes"; "Ckpt time"; "Distinct"; "Wall";
+      "Overhead" ];
+  hrule widths;
+  let baseline = ref 0. in
+  List.iter
+    (fun every ->
+      let saved = ref 0 and bytes = ref 0 and ck_s = ref 0. in
+      let opts =
+        if every = 0 then base_opts
+        else
+          { base_opts with
+            on_layer =
+              Some
+                (Store.Checkpoint.hook ~dir ~identity ~every
+                   ~on_save:(fun st ->
+                     incr saved;
+                     bytes := st.ck_bytes;
+                     ck_s := !ck_s +. st.ck_seconds)
+                   ()) }
+      in
+      (* Level the heap before each interval run: earlier sections (and
+         earlier intervals) leave a grown major heap whose GC pauses would
+         otherwise land in the checkpoint write times. *)
+      Gc.compact ();
+      let r = Explorer.check spec scenario opts in
+      if every = 0 then baseline := r.duration;
+      let overhead =
+        if !baseline > 0. then !ck_s /. !baseline *. 100. else 0.
+      in
+      record_entry
+        { be_section = "checkpoint"; be_system = "pysyncobj"; be_workers = 1;
+          be_distinct = r.distinct; be_generated = r.generated;
+          be_wall_s = r.duration; be_outcome = outcome_tag r.outcome;
+          be_extra =
+            [ ("checkpoint_every", float every);
+              ("checkpoints", float !saved);
+              ("checkpoint_bytes", float !bytes);
+              ("checkpoint_s", !ck_s);
+              ("overhead_pct", overhead) ] };
+      row widths
+        [ (if every = 0 then "none" else string_of_int every);
+          string_of_int !saved;
+          string_of_int !bytes;
+          Fmt.str "%.3fs" !ck_s;
+          string_of_int r.distinct;
+          Fmt.str "%.2fs" r.duration;
+          (if every = 0 then "baseline" else Fmt.str "%+.1f%%" overhead) ];
+      Fmt.pr "%!")
+    [ 0; 8; 2 ];
+  (try Sys.remove (Filename.concat dir Store.Checkpoint.file)
+   with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Fmt.pr
+    "(each run explores the same space exhaustively; a checkpoint is an \
+     atomic write of the whole visited set + frontier, so the interval \
+     trades recovery granularity against write amplification)@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one per table)                            *)
@@ -634,6 +730,7 @@ let sections =
     "fig7", fig7;
     "ablation", ablation;
     "scaling", scaling;
+    "checkpoint", checkpoint_bench;
     "micro", micro ]
 
 let () =

@@ -1,16 +1,33 @@
 (* The sandtable command-line interface.
 
      dune exec bin/sandtable_cli.exe -- check pysyncobj --bugs PySyncObj#4
+     dune exec bin/sandtable_cli.exe -- check wraft --run-dir runs/wraft --checkpoint-every 8
+     dune exec bin/sandtable_cli.exe -- check wraft --run-dir runs/wraft --resume
+     dune exec bin/sandtable_cli.exe -- runs runs/
      dune exec bin/sandtable_cli.exe -- conform wraft --bugs wraft6
      dune exec bin/sandtable_cli.exe -- simulate zookeeper --walks 500
      dune exec bin/sandtable_cli.exe -- rank pysyncobj
      dune exec bin/sandtable_cli.exe -- bugs
-     dune exec bin/sandtable_cli.exe -- systems *)
+     dune exec bin/sandtable_cli.exe -- systems
+
+   Output discipline: results (check/conform/simulate reports, listings) go
+   to stdout; progress, headers and diagnostics go to stderr. Exit codes are
+   uniform across commands: 0 = ran clean, 1 = found what it hunts
+   (violation, deadlock, discrepancy), 2 = usage or run error. *)
 
 open Cmdliner
 open Sandtable
 module R = Systems.Registry
 module Bug = Systems.Bug
+
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"checked clean: no violation or discrepancy found.";
+    Cmd.Exit.info 1
+      ~doc:"an invariant violation, deadlock or discrepancy was found.";
+    Cmd.Exit.info 2
+      ~doc:
+        "usage or run error: unknown system or flag, bad arguments, \
+         unreadable run directory, resume identity mismatch." ]
 
 let system_arg =
   let doc = "Target system (see the systems command)." in
@@ -43,6 +60,42 @@ let workers_arg =
   in
   Arg.(value & opt int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
 
+let run_dir_arg =
+  let doc =
+    "Run directory: writes manifest.json, periodic checkpoints and the \
+     counterexample trace there (created if missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "run-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Checkpoint every $(docv) BFS layers into --run-dir (0 disables)."
+  in
+  Arg.(value & opt int 16 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the checkpoint in --run-dir; exploration continues \
+     bit-for-bit where it stopped. Fails (exit 2) if the checkpoint was \
+     written for a different system, scenario or flag configuration."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let spill_window_arg =
+  let doc =
+    "Keep at most $(docv) frontier entries in memory, spilling the rest to \
+     sequential files on disk (0 = all in RAM). Sequential engine only; \
+     exploration order is unchanged."
+  in
+  Arg.(value & opt int 0 & info [ "spill-window" ] ~docv:"N" ~doc)
+
+let progress_every_arg =
+  let doc =
+    "Print a progress line to stderr every $(docv) distinct states (0 = \
+     off)."
+  in
+  Arg.(value & opt int 0 & info [ "progress-every" ] ~docv:"N" ~doc)
+
 let resolve_workers = function 0 -> Domain.recommended_domain_count () | n -> max 1 n
 
 let resolve name = try Ok (R.find name) with Not_found ->
@@ -58,51 +111,225 @@ let with_system name bugs f =
   match resolve name with
   | Error (`Msg m) ->
     Fmt.epr "%s@." m;
-    1
+    Store.Exit_code.usage
   | Ok sys -> (
     match R.flags_of sys bugs with
     | exception Invalid_argument m ->
       Fmt.epr "%s@." m;
-      1
+      Store.Exit_code.usage
     | flags -> f sys flags)
 
 (* --- check: specification-level model checking ----------------------- *)
 
+let outcome_string = function
+  | Explorer.Exhausted -> "exhausted"
+  | Explorer.Violation v -> "violation: " ^ v.invariant
+  | Explorer.Budget_spent -> "budget spent"
+  | Explorer.Deadlock _ -> "deadlock"
+
+let save_trace dir (events : Trace.t) =
+  Trace.save (Filename.concat dir "trace.bin") events;
+  Binio.atomic_write (Filename.concat dir "trace.txt") (fun oc ->
+      List.iter
+        (fun e ->
+          output_string oc (Trace.serialize_event e);
+          output_char oc '\n')
+        events);
+  Some "trace.bin"
+
 let check_cmd =
-  let run name bugs time nodes workers =
+  let run name bugs time nodes workers run_dir every resume spill_window
+      progress_every =
     with_system name bugs (fun sys flags ->
         let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
-        Fmt.pr "model checking %s on %a@." sys.name Scenario.pp scenario;
-        let opts = { Explorer.default with time_budget = Some time } in
-        let result =
-          if workers = 1 then Explorer.check (sys.spec flags) scenario opts
-          else begin
-            let r = Par.Par_explorer.check ~workers (sys.spec flags) scenario opts in
-            Fmt.pr "parallel BFS: %d workers, %d layers@." r.workers r.layers;
-            Fmt.pr "%a" Par.Par_explorer.pp_worker_stats r;
-            r.base
-          end
+        let spec = sys.spec flags in
+        Fmt.epr "model checking %s on %a@." sys.name Scenario.pp scenario;
+        let progress =
+          if progress_every > 0 then
+            Some
+              (fun (s : Explorer.stats) ->
+                Fmt.epr "  depth %d: %d distinct, %d generated, %.1fs@."
+                  s.depth s.distinct s.generated s.elapsed)
+          else None
         in
-        Fmt.pr "%a@." Explorer.pp_result result;
-        match result.outcome with
-        | Explorer.Violation v ->
-          Fmt.pr "@.confirming at the implementation level...@.";
-          let confirmation =
-            Replay.confirm ~mask:Systems.Common.conformance_mask
-              (sys.spec flags)
-              ~boot:(fun sc -> sys.sut flags None sc)
-              scenario v.events
+        let frontier =
+          if spill_window > 0 then begin
+            if workers > 1 then
+              Fmt.epr
+                "note: --spill-window only bounds the sequential engine; \
+                 the parallel frontier stays in RAM@.";
+            Some
+              (Store.Spill.factory
+                 ?dir:(Option.map (fun d -> Filename.concat d "spill") run_dir)
+                 ~window:spill_window ())
+          end
+          else None
+        in
+        let base_opts =
+          { Explorer.default with
+            time_budget = Some time;
+            progress_every = (if progress_every > 0 then progress_every else 0);
+            progress;
+            frontier }
+        in
+        let bug_flags = String.concat "," (Bug.Flags.elements flags) in
+        let identity =
+          Store.Checkpoint.identity ~extra:[ ("bugs", bug_flags) ] spec
+            scenario base_opts
+        in
+        let ckpt_count = ref 0 in
+        let opts =
+          match run_dir with
+          | Some dir when every > 0 ->
+            { base_opts with
+              on_layer =
+                Some
+                  (Store.Checkpoint.hook ~dir ~identity ~every
+                     ~on_save:(fun st ->
+                       incr ckpt_count;
+                       Fmt.epr
+                         "  checkpoint at depth %d: %d states, %d bytes, \
+                          %.3fs@."
+                         st.ck_depth st.ck_distinct st.ck_bytes st.ck_seconds)
+                     ()) }
+          | _ -> base_opts
+        in
+        let resume_snap =
+          if not resume then Ok None
+          else
+            match run_dir with
+            | None -> Error "--resume requires --run-dir"
+            | Some dir -> (
+              match Store.Checkpoint.load ~dir ~identity with
+              | snap -> Ok (Some snap)
+              | exception Store.Checkpoint.Mismatch m -> Error m
+              | exception Binio.Corrupt m -> Error m
+              | exception Sys_error m ->
+                Error (m ^ " (no checkpoint to resume from?)"))
+        in
+        match resume_snap with
+        | Error m ->
+          Fmt.epr "%s@." m;
+          Store.Exit_code.usage
+        | Ok resume_snap ->
+          Option.iter
+            (fun snap ->
+              Fmt.epr "resuming at depth %d: %d distinct states@."
+                snap.Explorer.snap_depth snap.Explorer.snap_distinct)
+            resume_snap;
+          let manifest =
+            Option.map
+              (fun dir ->
+                let m =
+                  Store.Manifest.make ~system:sys.name ~scenario:scenario.name
+                    ~identity:(Store.Checkpoint.digest_hex identity)
+                    ~engine:(if workers = 1 then "seq" else "par")
+                    ~workers
+                    ~flags:
+                      [ ("bugs", bug_flags);
+                        ("spill_window", string_of_int spill_window);
+                        ("checkpoint_every", string_of_int every) ]
+                in
+                Store.Manifest.save ~dir m;
+                m)
+              run_dir
           in
-          Fmt.pr "%a@." Replay.pp_confirmation confirmation;
-          0
-        | _ -> 0)
+          let result =
+            if workers = 1 then
+              Explorer.check ?resume:resume_snap spec scenario opts
+            else begin
+              let r =
+                Par.Par_explorer.check ~workers ?resume:resume_snap spec
+                  scenario opts
+              in
+              Fmt.epr "parallel BFS: %d workers, %d layers@." r.workers
+                r.layers;
+              Fmt.epr "%a" Par.Par_explorer.pp_worker_stats r;
+              r.base
+            end
+          in
+          Fmt.pr "%a@." Explorer.pp_result result;
+          let trace_rel =
+            match (run_dir, result.outcome) with
+            | Some dir, Explorer.Violation v -> save_trace dir v.events
+            | Some dir, Explorer.Deadlock t -> save_trace dir t
+            | _ -> None
+          in
+          Option.iter
+            (fun dir ->
+              let m = Option.get manifest in
+              let m =
+                { m with
+                  Store.Manifest.m_status = Store.Manifest.Done;
+                  m_outcome = Some (outcome_string result.outcome);
+                  m_distinct = result.distinct;
+                  m_generated = result.generated;
+                  m_max_depth = result.max_depth;
+                  m_duration = result.duration;
+                  m_checkpoints = !ckpt_count;
+                  m_checkpoint =
+                    (if
+                       Sys.file_exists
+                         (Filename.concat dir Store.Checkpoint.file)
+                     then Some Store.Checkpoint.file
+                     else None);
+                  m_trace = trace_rel }
+              in
+              Store.Manifest.save ~dir m;
+              Fmt.epr "run recorded in %s@." (Filename.concat dir Store.Manifest.file))
+            run_dir;
+          (match result.outcome with
+          | Explorer.Violation v ->
+            Fmt.pr "@.confirming at the implementation level...@.";
+            let confirmation =
+              Replay.confirm ~mask:Systems.Common.conformance_mask spec
+                ~boot:(fun sc -> sys.sut flags None sc)
+                scenario v.events
+            in
+            Fmt.pr "%a@." Replay.pp_confirmation confirmation
+          | _ -> ());
+          Store.Exit_code.of_outcome result.outcome)
   in
   let doc = "Model-check a system's specification (BFS) and confirm bugs." in
-  Cmd.v (Cmd.info "check" ~doc)
+  Cmd.v (Cmd.info "check" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg
-      $ workers_arg)
+      $ workers_arg $ run_dir_arg $ checkpoint_every_arg $ resume_arg
+      $ spill_window_arg $ progress_every_arg)
+
+(* --- runs: list recorded runs ----------------------------------------- *)
+
+let runs_cmd =
+  let root_arg =
+    let doc = "Directory holding run directories (or a run directory)." in
+    Arg.(value & pos 0 string "runs" & info [] ~docv:"DIR" ~doc)
+  in
+  let run root =
+    if not (Sys.file_exists root && Sys.is_directory root) then begin
+      Fmt.epr "%s: not a directory@." root;
+      Store.Exit_code.usage
+    end
+    else begin
+      let self =
+        if Sys.file_exists (Filename.concat root Store.Manifest.file) then
+          [ (Filename.basename root, Store.Manifest.load ~dir:root) ]
+        else []
+      in
+      let entries = self @ Store.Manifest.list_runs root in
+      if entries = [] then Fmt.epr "no runs under %s@." root
+      else
+        List.iter
+          (fun (name, m) ->
+            match m with
+            | Ok m -> Fmt.pr "%-24s %a@." name Store.Manifest.pp m
+            | Error e -> Fmt.pr "%-24s unreadable manifest (%s)@." name e)
+          entries;
+      Store.Exit_code.ok
+    end
+  in
+  let doc = "List recorded runs (their manifest.json summaries)." in
+  Cmd.v (Cmd.info "runs" ~doc ~exits) Term.(const run $ root_arg)
 
 (* --- simulate: random walks ------------------------------------------ *)
 
@@ -122,14 +349,15 @@ let simulate_cmd =
             scenario opts ~seed ~count:walks
         in
         if workers > 1 then begin
-          Fmt.pr "parallel simulation: %d workers@." workers;
-          Fmt.pr "%a" Par.Par_simulate.pp_worker_stats stats
+          Fmt.epr "parallel simulation: %d workers@." workers;
+          Fmt.epr "%a" Par.Par_simulate.pp_worker_stats stats
         end;
-        Fmt.pr "%a@." Simulate.pp_aggregate (Simulate.aggregate ws);
-        0)
+        let agg = Simulate.aggregate ws in
+        Fmt.pr "%a@." Simulate.pp_aggregate agg;
+        Store.Exit_code.of_simulation agg)
   in
   let doc = "Random-walk the specification (TLC simulation mode)." in
-  Cmd.v (Cmd.info "simulate" ~doc)
+  Cmd.v (Cmd.info "simulate" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ walks_arg $ seed_arg $ nodes_arg
       $ workers_arg)
@@ -160,15 +388,15 @@ let conform_cmd =
             scenario ~rounds ~seed
         in
         if workers > 1 then
-          Fmt.pr "walk generation: %d workers (replay sequential)@." workers;
+          Fmt.epr "walk generation: %d workers (replay sequential)@." workers;
         Fmt.pr "%a@." Conformance.pp_report report;
-        match report.discrepancy with Some _ -> 2 | None -> 0)
+        Store.Exit_code.of_conformance report)
   in
   let doc =
     "Conformance-check the fixed spec against a (possibly buggy) \
      implementation."
   in
-  Cmd.v (Cmd.info "conform" ~doc)
+  Cmd.v (Cmd.info "conform" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ rounds_arg $ seed_arg $ nodes_arg
       $ workers_arg)
@@ -201,10 +429,10 @@ let rank_cmd =
               (fun i d -> Fmt.pr "  #%d %a@." (i + 1) Rank.pp_datum d)
               data)
           ranked;
-        0)
+        Store.Exit_code.ok)
   in
   let doc = "Rank budget constraints per configuration (Algorithm 1)." in
-  Cmd.v (Cmd.info "rank" ~doc) Term.(const run $ system_arg $ seed_arg)
+  Cmd.v (Cmd.info "rank" ~doc ~exits) Term.(const run $ system_arg $ seed_arg)
 
 (* --- bugs / systems listings ------------------------------------------ *)
 
@@ -220,10 +448,11 @@ let bugs_cmd =
               b.consequence)
           sys.bugs)
       R.all;
-    0
+    Store.Exit_code.ok
   in
   Cmd.v
-    (Cmd.info "bugs" ~doc:"List the reproduced bug registry (paper Table 2).")
+    (Cmd.info "bugs" ~doc:"List the reproduced bug registry (paper Table 2)."
+       ~exits)
     Term.(const run $ const ())
 
 let systems_cmd =
@@ -236,17 +465,18 @@ let systems_cmd =
           | Sandtable.Spec_net.Udp -> "UDP")
           (List.length sys.bugs) Scenario.pp sys.default_scenario)
       R.all;
-    0
+    Store.Exit_code.ok
   in
   Cmd.v
-    (Cmd.info "systems" ~doc:"List the integrated systems (paper Table 1).")
+    (Cmd.info "systems" ~doc:"List the integrated systems (paper Table 1)."
+       ~exits)
     Term.(const run $ const ())
 
 let () =
   let doc = "specification-level model checking for distributed systems" in
-  let info = Cmd.info "sandtable" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "sandtable" ~version:"1.0.0" ~doc ~exits in
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~term_err:Store.Exit_code.usage
        (Cmd.group info
-          [ check_cmd; simulate_cmd; conform_cmd; rank_cmd; bugs_cmd;
-            systems_cmd ]))
+          [ check_cmd; runs_cmd; simulate_cmd; conform_cmd; rank_cmd;
+            bugs_cmd; systems_cmd ]))

@@ -1,0 +1,191 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun m -> raise (Corrupt m)) fmt
+
+(* ---- writing ---------------------------------------------------------- *)
+
+type sink = Buffer.t
+
+let sink () = Buffer.create 4096
+let contents = Buffer.contents
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let rec uint b v =
+  if v land lnot 0x7f = 0 then u8 b v
+  else begin
+    u8 b ((v land 0x7f) lor 0x80);
+    (* logical shift: negative ints encode as their 63-bit pattern *)
+    uint b (v lsr 7)
+  end
+
+let zint b v = uint b ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
+
+let f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let fixed b s = Buffer.add_string b s
+
+let str b s =
+  uint b (String.length s);
+  fixed b s
+
+(* ---- reading ---------------------------------------------------------- *)
+
+type source = { data : string; mutable pos : int; limit : int }
+
+let of_string data = { data; pos = 0; limit = String.length data }
+let remaining src = src.limit - src.pos
+
+let read_u8 src =
+  if src.pos >= src.limit then
+    corrupt "truncated input: wanted 1 byte at offset %d, none left" src.pos;
+  let c = Char.code src.data.[src.pos] in
+  src.pos <- src.pos + 1;
+  c
+
+let read_uint src =
+  let rec go shift acc =
+    if shift > Sys.int_size then corrupt "varint longer than %d bits" Sys.int_size;
+    let c = read_u8 src in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_zint src =
+  let u = read_uint src in
+  (u lsr 1) lxor (- (u land 1))
+
+let read_fixed src n =
+  if n < 0 || remaining src < n then
+    corrupt "truncated input: wanted %d bytes at offset %d, %d left" n src.pos
+      (remaining src);
+  let s = String.sub src.data src.pos n in
+  src.pos <- src.pos + n;
+  s
+
+let read_str src =
+  let n = read_uint src in
+  read_fixed src n
+
+let read_f64 src =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (read_u8 src)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+(* ---- atomic file writes ----------------------------------------------- *)
+
+let atomic_write path fill =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".sandtable" ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> fill oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+(* ---- envelope --------------------------------------------------------- *)
+
+let magic = "SNTB"
+let format_version = 1
+
+(* FNV-1a, 64-bit *)
+let checksum s =
+  let h = ref (-0x340d631b7bdddcdbL) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let u64le buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let read_u64le s pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v :=
+      Int64.logor !v
+        (Int64.shift_left (Int64.of_int (Char.code s.[pos + i])) (8 * i))
+  done;
+  !v
+
+(* layout: magic(4) version(u8) kind(u8) payload_len(u64le) payload
+   checksum(u64le) *)
+let header_len = 4 + 1 + 1 + 8
+
+let write_file path ~kind fill =
+  let payload = sink () in
+  fill payload;
+  let payload = contents payload in
+  atomic_write path (fun oc ->
+      let head = Buffer.create header_len in
+      Buffer.add_string head magic;
+      Buffer.add_char head (Char.chr format_version);
+      Buffer.add_char head (Char.chr (kind land 0xff));
+      u64le head (Int64.of_int (String.length payload));
+      output_string oc (Buffer.contents head);
+      output_string oc payload;
+      let tail = Buffer.create 8 in
+      u64le tail (checksum payload);
+      output_string oc (Buffer.contents tail))
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let looks_binary path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        if in_channel_length ic < 4 then None
+        else Some (really_input_string ic 4))
+  with
+  | Some head -> String.equal head magic
+  | None -> false
+  | exception Sys_error _ -> false
+
+let read_file path ~kind =
+  let raw = read_whole_file path in
+  let len = String.length raw in
+  if len < header_len then
+    corrupt "%s: truncated: %d bytes is shorter than the %d-byte header" path
+      len header_len;
+  if not (String.equal (String.sub raw 0 4) magic) then
+    corrupt "%s: not a sandtable binary file (bad magic)" path;
+  let version = Char.code raw.[4] in
+  if version > format_version then
+    corrupt "%s: format version %d is newer than supported version %d" path
+      version format_version;
+  let file_kind = Char.code raw.[5] in
+  if file_kind <> kind then
+    corrupt "%s: wrong section kind %d (expected %d)" path file_kind kind;
+  let payload_len = Int64.to_int (read_u64le raw 6) in
+  if payload_len < 0 || len < header_len + payload_len + 8 then
+    corrupt
+      "%s: truncated: header promises %d payload bytes but only %d bytes \
+       follow (interrupted write?)"
+      path payload_len
+      (max 0 (len - header_len));
+  let payload = String.sub raw header_len payload_len in
+  let stored = read_u64le raw (header_len + payload_len) in
+  let actual = checksum payload in
+  if not (Int64.equal stored actual) then
+    corrupt "%s: checksum mismatch (corrupted file)" path;
+  of_string payload

@@ -31,6 +31,25 @@ let within t budget =
   && ok "crashes" t.crashes && ok "restarts" t.restarts
   && ok "partitions" t.partitions && ok "drops" t.drops && ok "dups" t.dups
 
+let encode sink t =
+  Binio.uint sink t.timeouts;
+  Binio.uint sink t.requests;
+  Binio.uint sink t.crashes;
+  Binio.uint sink t.restarts;
+  Binio.uint sink t.partitions;
+  Binio.uint sink t.drops;
+  Binio.uint sink t.dups
+
+let decode src =
+  let timeouts = Binio.read_uint src in
+  let requests = Binio.read_uint src in
+  let crashes = Binio.read_uint src in
+  let restarts = Binio.read_uint src in
+  let partitions = Binio.read_uint src in
+  let drops = Binio.read_uint src in
+  let dups = Binio.read_uint src in
+  { timeouts; requests; crashes; restarts; partitions; drops; dups }
+
 let observe t =
   Tla.Value.record
     [ "n_timeout", Tla.Value.int t.timeouts;

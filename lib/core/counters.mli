@@ -21,5 +21,10 @@ val bump : t -> Trace.event -> t
 val within : t -> Scenario.budget -> bool
 (** All counters within their (present) bounds. *)
 
+val encode : Binio.sink -> t -> unit
+val decode : Binio.source -> t
+(** Binary codec ({!Binio} wire format); [decode] raises {!Binio.Corrupt}
+    on malformed input. *)
+
 val observe : t -> Tla.Value.t
 val pp : Format.formatter -> t -> unit

@@ -1,3 +1,30 @@
+type provenance =
+  | Root of int  (* index into the init-state list *)
+  | Step of { parent : Fingerprint.t; event : Trace.event }
+
+(* A layer-barrier image of the explorer: everything needed to continue the
+   BFS bit-for-bit. Frontier states are not stored — each one is recovered
+   on resume by replaying its provenance chain (which is deterministic, and
+   keeps snapshots free of Marshal'd spec states). *)
+type snapshot = {
+  snap_depth : int;
+  snap_frontier : Fingerprint.t list;
+  snap_distinct : int;
+  snap_generated : int;
+  snap_max_depth : int;
+  snap_visited : (Fingerprint.t -> provenance -> int -> unit) -> unit;
+}
+
+type 'a frontier_ops = {
+  fr_push : 'a -> unit;
+  fr_pop : unit -> 'a option;
+  fr_length : unit -> int;
+  fr_iter : ('a -> unit) -> unit;  (* queue order, non-destructive *)
+  fr_close : unit -> unit;
+}
+
+type frontier_factory = { make_frontier : 'a. unit -> 'a frontier_ops }
+
 type options = {
   symmetry : bool;
   stop_on_violation : bool;
@@ -8,6 +35,8 @@ type options = {
   only_invariants : string list option;
   progress_every : int;
   progress : (stats -> unit) option;
+  on_layer : (int -> snapshot Lazy.t -> unit) option;
+  frontier : frontier_factory option;
 }
 
 and stats = { distinct : int; generated : int; depth : int; elapsed : float }
@@ -21,7 +50,17 @@ let default =
     check_deadlock = false;
     only_invariants = None;
     progress_every = 0;
-    progress = None }
+    progress = None;
+    on_layer = None;
+    frontier = None }
+
+let queue_frontier () =
+  let q = Queue.create () in
+  { fr_push = (fun x -> Queue.add x q);
+    fr_pop = (fun () -> Queue.take_opt q);
+    fr_length = (fun () -> Queue.length q);
+    fr_iter = (fun f -> Queue.iter f q);
+    fr_close = ignore }
 
 type violation = {
   invariant : string;
@@ -43,10 +82,6 @@ type result = {
   max_depth : int;
   duration : float;
 }
-
-type provenance =
-  | Root of int  (* index into the init-state list *)
-  | Step of { parent : Fingerprint.t; event : Trace.event }
 
 exception Stop of outcome
 
@@ -91,10 +126,63 @@ module Run (S : Spec.S) = struct
     let state = final_state scenario init_index events in
     { invariant; events; depth; state_repr = Fmt.str "%a" S.pp_state state }
 
-  let check scenario opts =
+  (* Recover the concrete states of a checkpointed frontier by replaying
+     each fingerprint's provenance chain. Chains share prefixes (they form
+     the BFS tree), so every intermediate state is memoized by fingerprint
+     and replayed at most once. *)
+  let rebuild_frontier visited scenario fps =
+    let memo : S.state Fingerprint.Tbl.t = Fingerprint.Tbl.create 1024 in
+    let inits = lazy (S.init scenario) in
+    let entry_of fp =
+      match Fingerprint.Tbl.find_opt visited fp with
+      | Some e -> e
+      | None ->
+        invalid_arg
+          "Explorer: checkpoint frontier references a fingerprint missing \
+           from its visited set (corrupted checkpoint?)"
+    in
+    let state_of fp0 =
+      (* walk back to the nearest memoized ancestor (or a root), then
+         replay forward, memoizing every step *)
+      let rec collect fp pending =
+        match Fingerprint.Tbl.find_opt memo fp with
+        | Some s -> s, pending
+        | None -> (
+          match (entry_of fp).prov with
+          | Root i ->
+            let s = List.nth (Lazy.force inits) i in
+            Fingerprint.Tbl.replace memo fp s;
+            s, pending
+          | Step { parent; event } -> collect parent ((fp, event) :: pending))
+      in
+      let base, pending = collect fp0 [] in
+      List.fold_left
+        (fun state (fp, event) ->
+          match
+            List.find_map
+              (fun (e, s') ->
+                if Trace.equal_event e event then Some s' else None)
+              (S.next scenario state)
+          with
+          | Some s' ->
+            Fingerprint.Tbl.replace memo fp s';
+            s'
+          | None ->
+            invalid_arg
+              "Explorer: unreplayable checkpoint provenance chain (spec \
+               changed since the checkpoint was written?)")
+        base pending
+    in
+    List.map state_of fps
+
+  let check ?resume scenario opts =
     let started = Unix.gettimeofday () in
     let visited : entry Fingerprint.Tbl.t = Fingerprint.Tbl.create 65536 in
-    let queue : (S.state * Fingerprint.t * int) Queue.t = Queue.create () in
+    let fr =
+      match opts.frontier with
+      | None -> queue_frontier ()
+      | Some { make_frontier } -> make_frontier ()
+    in
     let generated = ref 0 in
     let max_depth_seen = ref 0 in
     let deadline =
@@ -131,7 +219,7 @@ module Run (S : Spec.S) = struct
         Fingerprint.Tbl.replace visited fp { prov; depth };
         if depth > !max_depth_seen then max_depth_seen := depth;
         check_invariants fp depth state;
-        if S.constraint_ok scenario state then Queue.add (state, fp, depth) queue;
+        if S.constraint_ok scenario state then fr.fr_push (state, fp, depth);
         let n = Fingerprint.Tbl.length visited in
         if opts.progress_every > 0 && n mod opts.progress_every = 0 then
           Option.iter
@@ -141,27 +229,72 @@ module Run (S : Spec.S) = struct
             opts.progress
       end
     in
+    (* cur_depth is the layer currently being expanded; layer_remaining its
+       unexpanded tail. When it hits zero the frontier holds exactly the
+       next layer — the barrier where on_layer (checkpointing) fires. A
+       FIFO frontier makes this layered view bit-for-bit identical to the
+       plain queue-driven loop. *)
+    let cur_depth = ref 0 in
+    (match resume with
+    | None -> List.iteri (fun i s -> discover (Root i) 0 s) (S.init scenario)
+    | Some snap ->
+      snap.snap_visited (fun fp prov depth ->
+          Fingerprint.Tbl.replace visited fp { prov; depth });
+      generated := snap.snap_generated;
+      max_depth_seen := snap.snap_max_depth;
+      cur_depth := snap.snap_depth;
+      let states = rebuild_frontier visited scenario snap.snap_frontier in
+      List.iter2
+        (fun fp state -> fr.fr_push (state, fp, snap.snap_depth))
+        snap.snap_frontier states);
+    let snapshot_now () =
+      let fps = ref [] in
+      fr.fr_iter (fun (_, fp, _) -> fps := fp :: !fps);
+      { snap_depth = !cur_depth;
+        snap_frontier = List.rev !fps;
+        snap_distinct = Fingerprint.Tbl.length visited;
+        snap_generated = !generated;
+        snap_max_depth = !max_depth_seen;
+        snap_visited =
+          (fun k ->
+            Fingerprint.Tbl.iter (fun fp e -> k fp e.prov e.depth) visited) }
+    in
+    let layer_remaining = ref (fr.fr_length ()) in
     let outcome =
       try
-        List.iteri (fun i s -> discover (Root i) 0 s) (S.init scenario);
-        while not (Queue.is_empty queue) do
-          let state, fp, depth = Queue.pop queue in
-          if over_budget depth then raise (Stop Budget_spent);
-          let successors = S.next scenario state in
-          if successors = [] && opts.check_deadlock then begin
-            let init_index, events = trace_of visited fp in
-            ignore init_index;
-            raise (Stop (Deadlock events))
+        let continue = ref true in
+        while !continue do
+          if !layer_remaining = 0 then begin
+            match fr.fr_length () with
+            | 0 -> continue := false
+            | n ->
+              layer_remaining := n;
+              incr cur_depth;
+              Option.iter
+                (fun hook -> hook !cur_depth (lazy (snapshot_now ())))
+                opts.on_layer
           end;
-          List.iter
-            (fun (event, state') ->
-              incr generated;
-              discover (Step { parent = fp; event }) (depth + 1) state')
-            successors
+          if !continue then begin
+            let state, fp, depth = Option.get (fr.fr_pop ()) in
+            decr layer_remaining;
+            if over_budget depth then raise (Stop Budget_spent);
+            let successors = S.next scenario state in
+            if successors = [] && opts.check_deadlock then begin
+              let init_index, events = trace_of visited fp in
+              ignore init_index;
+              raise (Stop (Deadlock events))
+            end;
+            List.iter
+              (fun (event, state') ->
+                incr generated;
+                discover (Step { parent = fp; event }) (depth + 1) state')
+              successors
+          end
         done;
         Exhausted
       with Stop o -> o
     in
+    fr.fr_close ();
     { outcome;
       distinct = Fingerprint.Tbl.length visited;
       generated = !generated;
@@ -169,9 +302,9 @@ module Run (S : Spec.S) = struct
       duration = elapsed () }
 end
 
-let check (module S : Spec.S) scenario opts =
+let check ?resume (module S : Spec.S) scenario opts =
   let module R = Run (S) in
-  R.check scenario opts
+  R.check ?resume scenario opts
 
 let pp_outcome ppf = function
   | Exhausted -> Fmt.string ppf "state space exhausted"

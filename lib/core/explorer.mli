@@ -5,6 +5,44 @@
     counterexample reconstruction. Because search is breadth-first, the
     first violation found has minimal depth (§5.1.1). *)
 
+type provenance =
+  | Root of int  (** index into the init-state list *)
+  | Step of { parent : Fingerprint.t; event : Trace.event }
+(** How a state was first discovered; chains of [Step] back to a [Root]
+    reconstruct counterexample traces, and replay deterministically to the
+    concrete state (the checkpoint/resume mechanism relies on this). *)
+
+type snapshot = {
+  snap_depth : int;  (** the layer the frontier belongs to *)
+  snap_frontier : Fingerprint.t list;  (** in BFS (sequential pop) order *)
+  snap_distinct : int;
+  snap_generated : int;
+  snap_max_depth : int;
+  snap_visited : (Fingerprint.t -> provenance -> int -> unit) -> unit;
+      (** iterate the visited set: fingerprint, provenance, depth. The
+          iterator may stream over live or on-disk data — consume it
+          immediately. *)
+}
+(** A layer-barrier image of an exploration. Taken via [on_layer], persisted
+    by [Store.Checkpoint], and fed back through [check ~resume] to continue
+    a run bit-for-bit (frontier states are recovered by replaying their
+    provenance chains, so snapshots contain only codec-friendly data). *)
+
+type 'a frontier_ops = {
+  fr_push : 'a -> unit;
+  fr_pop : unit -> 'a option;  (** FIFO *)
+  fr_length : unit -> int;
+  fr_iter : ('a -> unit) -> unit;
+      (** non-destructive, in queue order (may read spill files) *)
+  fr_close : unit -> unit;  (** release any backing resources *)
+}
+
+type frontier_factory = { make_frontier : 'a. unit -> 'a frontier_ops }
+(** A pluggable BFS frontier. The default is an in-memory [Queue];
+    [Store.Spill.factory] bounds resident memory by spilling the middle of
+    the queue to sequential chunk files. Must be FIFO — exploration order,
+    and therefore every reported counter and counterexample, depends on it. *)
+
 type options = {
   symmetry : bool;  (** collapse node-permutation-equivalent states *)
   stop_on_violation : bool;
@@ -16,6 +54,12 @@ type options = {
       (** restrict checking to these named invariants ([None] = all) *)
   progress_every : int;  (** 0 disables the callback *)
   progress : (stats -> unit) option;
+  on_layer : (int -> snapshot Lazy.t -> unit) option;
+      (** fired at every layer barrier (entering layer [d >= 1], before any
+          of its states expand) with a lazy snapshot — forcing it costs a
+          frontier + visited-set walk, so hooks should only force when they
+          actually persist (e.g. every k layers) *)
+  frontier : frontier_factory option;  (** [None] = in-memory queue *)
 }
 
 and stats = { distinct : int; generated : int; depth : int; elapsed : float }
@@ -45,7 +89,14 @@ type result = {
   duration : float;
 }
 
-val check : Spec.t -> Scenario.t -> options -> result
+val check : ?resume:snapshot -> Spec.t -> Scenario.t -> options -> result
+(** [check ?resume spec scenario opts] — with [resume], exploration
+    continues from the snapshot instead of the initial states and is
+    bit-for-bit identical to the uninterrupted run from that point on
+    (same distinct/generated counters, same outcome, same counterexample).
+    The caller is responsible for resuming with the same spec, scenario and
+    options the snapshot was taken under ([Store.Checkpoint] enforces this
+    with an identity hash). *)
 
 val pp_result : Format.formatter -> result -> unit
 

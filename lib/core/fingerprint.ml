@@ -1,7 +1,13 @@
 type t = string
 
+(* [No_sharing] makes the fingerprint a function of the state's *structure*
+   alone. With sharing enabled the encoding depends on which subvalues
+   happen to be physically shared — an artefact of the construction path,
+   not of the state — so structurally equal states could fingerprint
+   differently (e.g. after a frontier entry is spilled to disk and read
+   back, breaking aliasing with global constants like an empty log). *)
 let of_state ?who state =
-  try Digest.string (Marshal.to_string state []) with
+  try Digest.string (Marshal.to_string state [ Marshal.No_sharing ]) with
   | Invalid_argument reason ->
     let spec = match who with Some s -> " of spec " ^ s | None -> "" in
     invalid_arg

@@ -108,14 +108,67 @@ let parse_event line =
     | _ -> fail ())
   | _ -> fail ()
 
-let save path trace =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter (fun e -> output_string oc (serialize_event e ^ "\n")) trace)
+(* Binary event codec (the lib/store wire format, see Binio). Tags are
+   append-only: new constructors get new tags, existing ones never change. *)
 
-let load path =
+let encode_event b e =
+  let open Binio in
+  match e with
+  | Deliver { src; dst; index; desc } ->
+    u8 b 0; uint b src; uint b dst; uint b index; str b desc
+  | Timeout { node; kind } -> u8 b 1; uint b node; str b kind
+  | Client { node; op } -> u8 b 2; uint b node; str b op
+  | Crash { node } -> u8 b 3; uint b node
+  | Restart { node } -> u8 b 4; uint b node
+  | Partition { group } ->
+    u8 b 5;
+    uint b (List.length group);
+    List.iter (uint b) group
+  | Heal -> u8 b 6
+  | Drop { src; dst; index } -> u8 b 7; uint b src; uint b dst; uint b index
+  | Duplicate { src; dst; index } ->
+    u8 b 8; uint b src; uint b dst; uint b index
+
+let decode_event src =
+  let open Binio in
+  match read_u8 src with
+  | 0 ->
+    let s = read_uint src in
+    let d = read_uint src in
+    let index = read_uint src in
+    Deliver { src = s; dst = d; index; desc = read_str src }
+  | 1 ->
+    let node = read_uint src in
+    Timeout { node; kind = read_str src }
+  | 2 ->
+    let node = read_uint src in
+    Client { node; op = read_str src }
+  | 3 -> Crash { node = read_uint src }
+  | 4 -> Restart { node = read_uint src }
+  | 5 ->
+    let n = read_uint src in
+    Partition { group = List.init n (fun _ -> read_uint src) }
+  | 6 -> Heal
+  | 7 ->
+    let s = read_uint src in
+    let d = read_uint src in
+    Drop { src = s; dst = d; index = read_uint src }
+  | 8 ->
+    let s = read_uint src in
+    let d = read_uint src in
+    Duplicate { src = s; dst = d; index = read_uint src }
+  | tag -> raise (Binio.Corrupt (Printf.sprintf "unknown event tag %d" tag))
+
+let file_kind = 1
+
+let save path trace =
+  Binio.write_file path ~kind:file_kind (fun sink ->
+      Binio.uint sink (List.length trace);
+      List.iter (encode_event sink) trace)
+
+(* Pre-Binio trace files were textual, one serialize_event line per event;
+   still loadable, but without truncation detection. *)
+let load_legacy path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -130,6 +183,17 @@ let load path =
           | Error _ as e -> e)
       in
       read [])
+
+let load path =
+  if not (Binio.looks_binary path) then load_legacy path
+  else
+    match
+      let src = Binio.read_file path ~kind:file_kind in
+      let n = Binio.read_uint src in
+      List.init n (fun _ -> decode_event src)
+    with
+    | events -> Ok events
+    | exception Binio.Corrupt m -> Error m
 
 let pp ppf trace =
   List.iteri (fun i e -> Fmt.pf ppf "%3d. %a@." (i + 1) pp_event e) trace

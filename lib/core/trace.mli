@@ -45,12 +45,26 @@ val to_string : t -> string
 
 (** {2 Persistence}
 
-    Traces serialize to a line-oriented textual format so bug reproductions
+    Events serialize to a line-oriented textual format so bug reproductions
     can be filed with reports and replayed later (the paper ships scripts to
-    parse and convert traces, §4.1). *)
+    parse and convert traces, §4.1). Trace {e files} use the {!Binio}
+    binary envelope: writes are atomic (temp file + rename) and a truncated
+    or corrupted file is rejected with a clear error instead of yielding a
+    silently shortened trace. *)
 
 val serialize_event : event -> string
 val parse_event : string -> (event, string) result
+
+val encode_event : Binio.sink -> event -> unit
+val decode_event : Binio.source -> event
+(** Binary event codec, shared with the run-store checkpoint format.
+    [decode_event] raises {!Binio.Corrupt} on malformed input. *)
+
 val save : string -> t -> unit
+(** Atomic: the file either keeps its previous contents or holds the
+    complete new trace, never a partial write. *)
+
 val load : string -> (t, string) result
-(** [Error] carries the offending line. *)
+(** Loads a {!save}d trace, or a legacy textual trace file (one
+    [serialize_event] line per event). [Error] carries a description of the
+    corruption, or the offending line for legacy files. *)

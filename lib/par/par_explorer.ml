@@ -15,7 +15,9 @@ type result = {
   shard_stats : Shard_set.stat array;
 }
 
-type provenance =
+(* Shared with the sequential explorer so checkpoints taken by one engine
+   resume on the other (both are bit-for-bit equivalent anyway). *)
+type provenance = Explorer.provenance =
   | Root of int
   | Step of { parent : Fingerprint.t; event : Trace.event }
 
@@ -72,7 +74,52 @@ module Run (S : Spec.S) = struct
         | None -> invalid_arg "Par_explorer: unreplayable provenance chain")
       s0 events
 
-  let check pool scenario (opts : Explorer.options) =
+  (* Checkpoint-frontier recovery: identical to the sequential explorer's
+     memoized provenance replay, against the sharded store. *)
+  let rebuild_frontier visited scenario fps =
+    let memo : S.state Fingerprint.Tbl.t = Fingerprint.Tbl.create 1024 in
+    let inits = lazy (S.init scenario) in
+    let entry_of fp =
+      match Shard_set.find_opt visited fp with
+      | Some e -> e
+      | None ->
+        invalid_arg
+          "Par_explorer: checkpoint frontier references a fingerprint \
+           missing from its visited set (corrupted checkpoint?)"
+    in
+    let state_of fp0 =
+      let rec collect fp pending =
+        match Fingerprint.Tbl.find_opt memo fp with
+        | Some s -> s, pending
+        | None -> (
+          match (entry_of fp).prov with
+          | Root i ->
+            let s = List.nth (Lazy.force inits) i in
+            Fingerprint.Tbl.replace memo fp s;
+            s, pending
+          | Step { parent; event } -> collect parent ((fp, event) :: pending))
+      in
+      let base, pending = collect fp0 [] in
+      List.fold_left
+        (fun state (fp, event) ->
+          match
+            List.find_map
+              (fun (e, s') ->
+                if Trace.equal_event e event then Some s' else None)
+              (S.next scenario state)
+          with
+          | Some s' ->
+            Fingerprint.Tbl.replace memo fp s';
+            s'
+          | None ->
+            invalid_arg
+              "Par_explorer: unreplayable checkpoint provenance chain \
+               (spec changed since the checkpoint was written?)")
+        base pending
+    in
+    List.map state_of fps
+
+  let check ?resume pool scenario (opts : Explorer.options) =
     let started = Unix.gettimeofday () in
     let elapsed () = Unix.gettimeofday () -. started in
     let workers = Pool.size pool in
@@ -128,29 +175,57 @@ module Run (S : Spec.S) = struct
         end
       end
     in
-    (* ---- roots: discovered in order, exactly like sequential BFS ---- *)
     let outcome = ref None in
     let frontier = ref [||] in
-    let root_frontier = ref [] in
-    List.iteri
-      (fun i s ->
-        if !outcome = None then begin
-          let fp = fingerprint opts scenario s in
-          let e = { prov = Root i; depth = 0; pos = (0, i); state = None } in
-          if Shard_set.add_if_absent visited fp e then begin
-            incr distinct_total;
-            (match first_broken s with
-            | Some inv when opts.stop_on_violation ->
-              outcome := Some (Explorer.Violation (violation_of fp inv 0))
-            | Some _ | None ->
-              if S.constraint_ok scenario s then
-                root_frontier := (s, fp) :: !root_frontier)
-          end
-        end)
-      (S.init scenario);
-    frontier := Array.of_list (List.rev !root_frontier);
-    (* ---- layer-synchronous BFS ---- *)
     let depth = ref 0 in
+    (match resume with
+    | Some snap ->
+      (* seed from a layer-barrier checkpoint: entries' pos is never
+         consulted again (only same-depth insertions compare positions,
+         and every future candidate is strictly deeper) *)
+      snap.Explorer.snap_visited (fun fp prov d ->
+          ignore
+            (Shard_set.add_if_absent visited fp
+               { prov; depth = d; pos = (0, 0); state = None }));
+      distinct_total := snap.Explorer.snap_distinct;
+      gen_prev := snap.Explorer.snap_generated;
+      max_depth_seen := snap.Explorer.snap_max_depth;
+      last_progress := snap.Explorer.snap_distinct;
+      depth := snap.Explorer.snap_depth;
+      let states = rebuild_frontier visited scenario snap.Explorer.snap_frontier in
+      frontier :=
+        Array.of_list
+          (List.map2 (fun fp s -> s, fp) snap.Explorer.snap_frontier states)
+    | None ->
+      (* ---- roots: discovered in order, exactly like sequential BFS ---- *)
+      let root_frontier = ref [] in
+      List.iteri
+        (fun i s ->
+          if !outcome = None then begin
+            let fp = fingerprint opts scenario s in
+            let e = { prov = Root i; depth = 0; pos = (0, i); state = None } in
+            if Shard_set.add_if_absent visited fp e then begin
+              incr distinct_total;
+              (match first_broken s with
+              | Some inv when opts.stop_on_violation ->
+                outcome := Some (Explorer.Violation (violation_of fp inv 0))
+              | Some _ | None ->
+                if S.constraint_ok scenario s then
+                  root_frontier := (s, fp) :: !root_frontier)
+            end
+          end)
+        (S.init scenario);
+      frontier := Array.of_list (List.rev !root_frontier));
+    let snapshot_now () =
+      { Explorer.snap_depth = !depth;
+        snap_frontier = Array.to_list (Array.map snd !frontier);
+        snap_distinct = !distinct_total;
+        snap_generated = !gen_prev;
+        snap_max_depth = !max_depth_seen;
+        snap_visited =
+          (fun k -> Shard_set.iter visited (fun fp e -> k fp e.prov e.depth)) }
+    in
+    (* ---- layer-synchronous BFS ---- *)
     let abort = Atomic.make false in
     while !outcome = None && Array.length !frontier > 0 do
       let d = !depth in
@@ -311,7 +386,12 @@ module Run (S : Spec.S) = struct
             in
             frontier := Array.of_list (List.map (fun (_, s, fp) -> s, fp) next);
             depth := d + 1;
-            progress_tick (d + 1)
+            progress_tick (d + 1);
+            (* the natural barrier: no layer in flight, frontier complete *)
+            if Array.length !frontier > 0 then
+              Option.iter
+                (fun hook -> hook (d + 1) (lazy (snapshot_now ())))
+                opts.on_layer
         end
       end
     done;
@@ -337,17 +417,17 @@ module Run (S : Spec.S) = struct
       shard_stats = Shard_set.stats visited }
 end
 
-let check ?workers ?pool (module S : Spec.S) scenario opts =
+let check ?workers ?pool ?resume (module S : Spec.S) scenario opts =
   let module R = Run (S) in
   match pool with
-  | Some p -> R.check p scenario opts
+  | Some p -> R.check ?resume p scenario opts
   | None ->
     let w =
       match workers with
       | Some w -> max 1 w
       | None -> Domain.recommended_domain_count ()
     in
-    Pool.with_pool w (fun p -> R.check p scenario opts)
+    Pool.with_pool w (fun p -> R.check ?resume p scenario opts)
 
 let states_per_sec ws =
   if ws.w_busy <= 0. then 0. else float ws.w_generated /. ws.w_busy

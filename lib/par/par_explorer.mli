@@ -35,11 +35,17 @@ type result = {
 }
 
 val check :
-  ?workers:int -> ?pool:Pool.t -> Sandtable.Spec.t -> Sandtable.Scenario.t ->
-  Sandtable.Explorer.options -> result
+  ?workers:int -> ?pool:Pool.t -> ?resume:Sandtable.Explorer.snapshot ->
+  Sandtable.Spec.t -> Sandtable.Scenario.t -> Sandtable.Explorer.options ->
+  result
 (** [check ~workers spec scenario opts] — [workers] defaults to
     [Domain.recommended_domain_count ()]; pass [~pool] to reuse an existing
-    pool across runs (then [workers] is ignored). *)
+    pool across runs (then [workers] is ignored).
+
+    [opts.on_layer] fires at every inter-layer barrier; [resume] continues
+    from such a snapshot bit-for-bit (checkpoints are engine- and
+    worker-count-agnostic: a sequential checkpoint resumes under any [-j]
+    and vice versa). *)
 
 val states_per_sec : worker_stat -> float
 

@@ -53,6 +53,11 @@ let mem t fp =
   let s = shard_of t fp in
   locked s (fun () -> Fingerprint.Tbl.mem s.tbl fp)
 
+let iter t f =
+  Array.iter
+    (fun s -> locked s (fun () -> Fingerprint.Tbl.iter f s.tbl))
+    t.shards
+
 let length t =
   Array.fold_left
     (fun n s -> n + locked s (fun () -> Fingerprint.Tbl.length s.tbl))

@@ -40,5 +40,10 @@ val mem : 'a t -> Sandtable.Fingerprint.t -> bool
 val length : 'a t -> int
 (** Total distinct fingerprints (locks each shard once). *)
 
+val iter : 'a t -> (Sandtable.Fingerprint.t -> 'a -> unit) -> unit
+(** Iterate every entry, shard by shard (each shard locked while its
+    entries are visited; [f] must not re-enter the set). Order is
+    arbitrary. Used for barrier-point checkpoint snapshots. *)
+
 val stats : 'a t -> stat array
 val pp_stats : Format.formatter -> 'a t -> unit

@@ -1,0 +1,192 @@
+type status = Running | Done | Failed
+
+type t = {
+  m_version : int;
+  m_system : string;
+  m_scenario : string;
+  m_identity : string;
+  m_created : string;
+  m_engine : string;
+  m_workers : int;
+  m_flags : (string * string) list;
+  m_status : status;
+  m_outcome : string option;
+  m_distinct : int;
+  m_generated : int;
+  m_max_depth : int;
+  m_duration : float;
+  m_checkpoints : int;
+  m_checkpoint : string option;
+  m_trace : string option;
+}
+
+let version = 1
+let file = "manifest.json"
+
+let status_string = function
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+
+let status_of_string = function
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | _ -> None
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let now_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let make ~system ~scenario ~identity ~engine ~workers ~flags =
+  { m_version = version;
+    m_system = system;
+    m_scenario = scenario;
+    m_identity = identity;
+    m_created = now_utc ();
+    m_engine = engine;
+    m_workers = workers;
+    m_flags = flags;
+    m_status = Running;
+    m_outcome = None;
+    m_distinct = 0;
+    m_generated = 0;
+    m_max_depth = 0;
+    m_duration = 0.;
+    m_checkpoints = 0;
+    m_checkpoint = None;
+    m_trace = None }
+
+let to_json t =
+  let opt = function Some s -> Sjson.Str s | None -> Sjson.Null in
+  Sjson.Obj
+    [ ("version", Num (float_of_int t.m_version));
+      ("system", Str t.m_system);
+      ("scenario", Str t.m_scenario);
+      ("identity", Str t.m_identity);
+      ("created", Str t.m_created);
+      ("engine", Str t.m_engine);
+      ("workers", Num (float_of_int t.m_workers));
+      ( "flags",
+        Obj (List.map (fun (k, v) -> (k, Sjson.Str v)) t.m_flags) );
+      ("status", Str (status_string t.m_status));
+      ("outcome", opt t.m_outcome);
+      ("distinct", Num (float_of_int t.m_distinct));
+      ("generated", Num (float_of_int t.m_generated));
+      ("max_depth", Num (float_of_int t.m_max_depth));
+      ("duration_s", Num t.m_duration);
+      ("checkpoints", Num (float_of_int t.m_checkpoints));
+      ("checkpoint", opt t.m_checkpoint);
+      ("trace", opt t.m_trace) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Sjson.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "manifest: missing or ill-typed %S" name)
+  in
+  let opt_str name =
+    match Sjson.member name j with
+    | Some (Sjson.Str s) -> Some s
+    | _ -> None
+  in
+  let* m_version = field "version" Sjson.to_int in
+  let* m_system = field "system" Sjson.to_str in
+  let* m_scenario = field "scenario" Sjson.to_str in
+  let* m_identity = field "identity" Sjson.to_str in
+  let* m_created = field "created" Sjson.to_str in
+  let* m_engine = field "engine" Sjson.to_str in
+  let* m_workers = field "workers" Sjson.to_int in
+  let* m_status =
+    let* s = field "status" Sjson.to_str in
+    match status_of_string s with
+    | Some st -> Ok st
+    | None -> Error (Printf.sprintf "manifest: unknown status %S" s)
+  in
+  let* m_distinct = field "distinct" Sjson.to_int in
+  let* m_generated = field "generated" Sjson.to_int in
+  let* m_max_depth = field "max_depth" Sjson.to_int in
+  let* m_duration = field "duration_s" Sjson.to_num in
+  let* m_checkpoints = field "checkpoints" Sjson.to_int in
+  let m_flags =
+    match Sjson.member "flags" j with
+    | Some (Sjson.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun s -> (k, s)) (Sjson.to_str v))
+        fields
+    | _ -> []
+  in
+  Ok
+    { m_version;
+      m_system;
+      m_scenario;
+      m_identity;
+      m_created;
+      m_engine;
+      m_workers;
+      m_flags;
+      m_status;
+      m_outcome = opt_str "outcome";
+      m_distinct;
+      m_generated;
+      m_max_depth;
+      m_duration;
+      m_checkpoints;
+      m_checkpoint = opt_str "checkpoint";
+      m_trace = opt_str "trace" }
+
+let save ~dir t =
+  mkdir_p dir;
+  let path = Filename.concat dir file in
+  Sandtable.Binio.atomic_write path (fun oc ->
+      output_string oc (Sjson.to_string (to_json t)))
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir =
+  let path = Filename.concat dir file in
+  match read_whole path with
+  | exception Sys_error m -> Error m
+  | raw -> (
+    match Sjson.of_string raw with
+    | Error m -> Error (Printf.sprintf "%s: %s" path m)
+    | Ok j -> (
+      match of_json j with
+      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Ok t -> Ok t))
+
+let list_runs root =
+  match Sys.readdir root with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.sort compare entries;
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           let dir = Filename.concat root name in
+           if
+             Sys.is_directory dir
+             && Sys.file_exists (Filename.concat dir file)
+           then Some (name, load ~dir)
+           else None)
+
+let pp ppf t =
+  Fmt.pf ppf "%-8s %s/%s %s j%d depth %d, %d distinct, %.2fs%a"
+    (status_string t.m_status) t.m_system t.m_scenario t.m_engine t.m_workers
+    t.m_max_depth t.m_distinct t.m_duration
+    (fun ppf -> function
+      | Some o -> Fmt.pf ppf " — %s" o
+      | None -> ())
+    t.m_outcome

@@ -1,0 +1,51 @@
+(** Per-run [manifest.json]: what ran, how it ended, where the artefacts
+    are.
+
+    Written atomically at run start ([Running]), rewritten at completion
+    ([Done] / [Failed]). Human-readable and machine-parseable (plain JSON);
+    the [runs] CLI command lists a tree of run directories from these. *)
+
+type status = Running | Done | Failed
+
+type t = {
+  m_version : int;  (** manifest schema version, currently 1 *)
+  m_system : string;
+  m_scenario : string;
+  m_identity : string;  (** identity digest ({!Checkpoint.digest_hex}) *)
+  m_created : string;  (** UTC, ISO-8601 *)
+  m_engine : string;  (** ["seq"] or ["par"] *)
+  m_workers : int;
+  m_flags : (string * string) list;  (** config knobs, e.g. bug flags *)
+  m_status : status;
+  m_outcome : string option;  (** e.g. ["violation: AgreeInv"] once done *)
+  m_distinct : int;
+  m_generated : int;
+  m_max_depth : int;
+  m_duration : float;
+  m_checkpoints : int;  (** checkpoints written during the run *)
+  m_checkpoint : string option;  (** relative path, when one exists *)
+  m_trace : string option;  (** relative path of the counterexample trace *)
+}
+
+val version : int
+val file : string
+(** ["manifest.json"], relative to the run directory. *)
+
+val make :
+  system:string -> scenario:string -> identity:string -> engine:string ->
+  workers:int -> flags:(string * string) list -> t
+(** A fresh [Running] manifest stamped with the current UTC time. *)
+
+val save : dir:string -> t -> unit
+(** Atomic write of [dir ^ "/" ^ file]; creates [dir] if missing. *)
+
+val load : dir:string -> (t, string) result
+
+val list_runs : string -> (string * (t, string) result) list
+(** Immediate subdirectories of the given root that contain a manifest,
+    sorted by name; unreadable manifests surface as [Error] rather than
+    being dropped. *)
+
+val status_string : status -> string
+val pp : Format.formatter -> t -> unit
+(** One-line summary, used by the [runs] command. *)

@@ -1,0 +1,30 @@
+(** A minimal JSON tree — emit and parse, no dependencies.
+
+    Just enough for run manifests: objects, arrays, strings (with full
+    escape handling), doubles (emitted as integers when integral), booleans
+    and null. The parser is a strict recursive-descent reader that returns
+    [Error] with an offset-bearing message on malformed input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation and a trailing newline. *)
+
+val of_string : string -> (t, string) result
+
+(** {2 Accessors} — all return [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]. *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option

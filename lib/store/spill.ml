@@ -1,0 +1,118 @@
+open Sandtable
+
+type stats = { sp_chunks : int; sp_items : int; sp_peak_disk : int }
+
+let counter = ref 0
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec try_mk attempt =
+    incr counter;
+    let dir =
+      Filename.concat base
+        (Printf.sprintf "sandtable-spill-%d-%d" (Unix.getpid ()) !counter)
+    in
+    match Unix.mkdir dir 0o700 with
+    | () -> dir
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when attempt < 100 ->
+      try_mk (attempt + 1)
+  in
+  try_mk 0
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_chunk path (items : 'a array) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc items [])
+
+let read_chunk path : 'a array =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Marshal.from_channel ic)
+
+let make ?dir ~window stats_ref =
+  let owns_dir, dir =
+    match dir with
+    | Some d -> mkdir_p d; (false, d)
+    | None -> (true, fresh_dir ())
+  in
+  let window = max 2 window in
+  let chunk_size = max 1 (window / 2) in
+  let head : 'a Queue.t = Queue.create () in
+  let tail : 'a Queue.t = Queue.create () in
+  (* oldest chunk first; each entry is (path, item count) *)
+  let chunks : (string * int) Queue.t = Queue.create () in
+  let on_disk = ref 0 in
+  let chunk_id = ref 0 in
+  let note_disk delta =
+    on_disk := !on_disk + delta;
+    let s = !stats_ref in
+    stats_ref := { s with sp_peak_disk = max s.sp_peak_disk !on_disk }
+  in
+  let flush_tail () =
+    let items = Array.make (Queue.length tail) (Queue.peek tail) in
+    let i = ref 0 in
+    Queue.iter (fun x -> items.(!i) <- x; incr i) tail;
+    Queue.clear tail;
+    incr chunk_id;
+    incr counter;
+    (* [counter] keeps names unique when several frontiers share [dir] *)
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "chunk-%d-%06d.spill" !counter !chunk_id)
+    in
+    write_chunk path items;
+    Queue.add (path, Array.length items) chunks;
+    let s = !stats_ref in
+    stats_ref :=
+      { s with sp_chunks = s.sp_chunks + 1; sp_items = s.sp_items + Array.length items };
+    note_disk (Array.length items)
+  in
+  let load_oldest_chunk () =
+    let path, count = Queue.pop chunks in
+    let items = read_chunk path in
+    (try Sys.remove path with Sys_error _ -> ());
+    note_disk (-count);
+    Array.iter (fun x -> Queue.add x head) items
+  in
+  let fr_push x =
+    if Queue.is_empty chunks && Queue.is_empty tail
+       && Queue.length head < window
+    then Queue.add x head
+    else begin
+      Queue.add x tail;
+      if Queue.length tail >= chunk_size then flush_tail ()
+    end
+  in
+  let fr_pop () =
+    if Queue.is_empty head && not (Queue.is_empty chunks) then
+      load_oldest_chunk ();
+    match Queue.take_opt head with
+    | Some _ as r -> r
+    | None -> Queue.take_opt tail
+  in
+  let fr_length () = Queue.length head + !on_disk + Queue.length tail in
+  let fr_iter f =
+    Queue.iter f head;
+    Queue.iter (fun (path, _) -> Array.iter f (read_chunk path)) chunks;
+    Queue.iter f tail
+  in
+  let fr_close () =
+    Queue.iter (fun (path, _) -> try Sys.remove path with Sys_error _ -> ()) chunks;
+    Queue.clear chunks;
+    on_disk := 0;
+    if owns_dir then (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  in
+  { Explorer.fr_push; fr_pop; fr_length; fr_iter; fr_close }
+
+let factory_with_stats ?dir ~window () =
+  let stats_ref = ref { sp_chunks = 0; sp_items = 0; sp_peak_disk = 0 } in
+  ( { Explorer.make_frontier = (fun () -> make ?dir ~window stats_ref) },
+    fun () -> !stats_ref )
+
+let factory ?dir ~window () = fst (factory_with_stats ?dir ~window ())

@@ -1,0 +1,35 @@
+(** A disk-spilled BFS frontier: bounded resident memory, FIFO semantics.
+
+    The frontier is split into an in-memory head (the pop side), a FIFO of
+    on-disk chunk files (the middle), and an in-memory tail (the push
+    side). While the queue fits inside [window] entries everything stays in
+    RAM and behaves exactly like the default queue; beyond that, the tail
+    is flushed to sequential chunk files of [window/2] entries, and pops
+    stream chunks back in oldest-first. Exploration order — and therefore
+    every counter and counterexample — is identical to the in-memory
+    frontier; only peak memory differs.
+
+    Chunk files are same-process scratch (deleted as they are consumed and
+    on [fr_close]), so they use [Marshal] rather than the durable
+    {!Sandtable.Binio} format — they never outlive the run and are never
+    read by another build. *)
+
+type stats = {
+  sp_chunks : int;  (** chunk files written over the frontier's lifetime *)
+  sp_items : int;  (** entries that round-tripped through disk *)
+  sp_peak_disk : int;  (** max entries on disk at any moment *)
+}
+
+val factory :
+  ?dir:string -> window:int -> unit -> Sandtable.Explorer.frontier_factory
+(** [factory ~window ()] spills whenever more than [window] entries are
+    resident (minimum effective window: 2). [dir] is created if missing and
+    removed on close when the factory created it; default is a fresh
+    directory under the system temp dir. *)
+
+val factory_with_stats :
+  ?dir:string -> window:int -> unit ->
+  Sandtable.Explorer.frontier_factory * (unit -> stats)
+(** Like {!factory}, plus a live stats reader (aggregated across every
+    frontier the factory makes — tests use it to assert spilling actually
+    happened). *)

@@ -16,4 +16,5 @@ let () =
       Test_systems.suite;
       Test_conformance.suite;
       Test_par.suite;
+      Test_store.suite;
       Test_bugs.suite ]

@@ -59,6 +59,74 @@ let test_equality_ignores_desc () =
   let c = Trace.Deliver { src = 0; dst = 1; index = 1; desc = "x" } in
   Alcotest.(check bool) "index significant" false (Trace.equal_event a c)
 
+let test_truncated_file () =
+  let path = Filename.temp_file "sandtable" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path sample;
+      let ic = open_in_bin path in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin path in
+      output_string oc (String.sub raw 0 (String.length raw / 2));
+      close_out oc;
+      match Trace.load path with
+      | Error m ->
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length s
+            && (String.sub s i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Fmt.str "%S names truncation" m)
+          true (contains m "truncated")
+      | Ok _ -> Alcotest.fail "truncated file accepted")
+
+let test_legacy_format () =
+  (* pre-binary trace files were one serialized event per line *)
+  let path = Filename.temp_file "sandtable" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun e -> Printf.fprintf oc "%s\n" (Trace.serialize_event e))
+        sample;
+      close_out oc;
+      match Trace.load path with
+      | Ok events ->
+        Alcotest.(check int) "length" (List.length sample) (List.length events);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool) "event" true (Trace.equal_event a b))
+          sample events
+      | Error line -> Alcotest.failf "legacy load failed at %S" line)
+
+let test_save_atomic () =
+  (* save must not leave temp files behind in the target directory *)
+  let dir = Filename.temp_file "sandtable" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let path = Filename.concat dir "t.trace" in
+      Trace.save path sample;
+      Trace.save path sample;
+      Alcotest.(check (array string)) "only the trace" [| "t.trace" |]
+        (Sys.readdir dir))
+
 let test_kinds () =
   Alcotest.(check (list string))
     "kind classes"
@@ -73,4 +141,7 @@ let suite =
       case "garbage rejected" test_parse_garbage;
       case "descriptor with spaces" test_desc_with_spaces;
       case "equality semantics" test_equality_ignores_desc;
+      case "truncated binary file rejected" test_truncated_file;
+      case "legacy text format still loads" test_legacy_format;
+      case "save is atomic, no temp leftovers" test_save_atomic;
       case "event kinds" test_kinds ] )
