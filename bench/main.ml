@@ -669,6 +669,136 @@ let checkpoint_bench () =
      atomic write of the whole visited set + frontier, so the interval \
      trades recovery granularity against write amplification)@."
 
+(* One exhaustive BFS per instrumentation level over the same scenario:
+   probe absent (the zero-cost claim), metrics-only (counters + phase
+   timers, no files), and full (trace-event file + run-dir artefacts).
+   Each level runs [reps] times and keeps its best wall time — at sub-
+   second scale the minimum is the least noisy location statistic, and
+   the instrumentation cost is a constant per-state tax, not a tail
+   effect. *)
+let obs_bench () =
+  section_header "Observability overhead: probe off vs metrics vs full trace";
+  let spec = Systems.Pysyncobj.spec () in
+  let scenario =
+    Scenario.v ~name:"obs-bench" ~nodes:2 ~workload:[ 1 ]
+      [ "timeouts", 7; "requests", 2; "crashes", 1; "restarts", 1;
+        "partitions", 0; "buffer", 4 ]
+  in
+  let base_opts =
+    { Explorer.default with time_budget = Some (budget 120.) }
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let scratch name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sandtable-bench-obs-%s-%d" name (Unix.getpid ()))
+  in
+  let reps = 5 in
+  let with_obs obs =
+    ( { base_opts with probe = Obs.Run.probe obs },
+      fun (r : Explorer.result) ->
+        ignore
+          (Obs.Run.finish obs ~outcome:(outcome_tag r.outcome)
+             ~distinct:r.distinct ~generated:r.generated
+             ~max_depth:r.max_depth ~duration:r.duration ()) )
+  in
+  let levels =
+    [ ("off", fun () -> (base_opts, fun _ -> ()));
+      ("metrics", fun () -> with_obs (Obs.Run.create ~workers:1 ()));
+      ( "full",
+        fun () ->
+          let dir = scratch "dir" in
+          rm_rf dir;
+          with_obs
+            (Obs.Run.create ~workers:1 ~dir
+               ~trace_out:(Filename.concat dir "trace.json") ()) ) ]
+  in
+  (* The disabled probe is one branch on an immediate per call site, too
+     small to resolve wall-to-wall (it drowns in scheduler noise), so
+     bound it directly: time the primitive with probe = None and scale by
+     a generous per-state call-site count against the off run's measured
+     per-state cost. *)
+  let probe_off_ns =
+    let n = 10_000_000 in
+    let no_probe = Sys.opaque_identity None in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      Probe.count no_probe "fp.dup" 1
+    done;
+    (Unix.gettimeofday () -. t0) /. float n *. 1e9
+  in
+  let sites_per_state = 10. in
+  (* Interleave the repetitions round-robin across levels: machine noise
+     is time-correlated (a slow scheduling window inflates whatever runs
+     during it), so back-to-back reps of one level can all land in the
+     same window and invert the comparison. Keep each level's best. *)
+  let best : (string, Explorer.result) Hashtbl.t = Hashtbl.create 8 in
+  for _ = 1 to reps do
+    List.iter
+      (fun (name, make) ->
+        Gc.compact ();
+        let opts, finish = make () in
+        let r = Explorer.check spec scenario opts in
+        finish r;
+        match Hashtbl.find_opt best name with
+        | Some b when b.Explorer.duration <= r.Explorer.duration -> ()
+        | _ -> Hashtbl.replace best name r)
+      levels
+  done;
+  let widths = [ 9; 11; 9; 10 ] in
+  row widths [ "Level"; "Distinct"; "Wall"; "Overhead" ];
+  hrule widths;
+  let baseline = ref 0. and off_bound = ref 0. in
+  List.iter
+    (fun (name, _) ->
+      let r = Hashtbl.find best name in
+      let overhead =
+        if name = "off" then begin
+          baseline := r.Explorer.duration;
+          let ns_per_state =
+            r.Explorer.duration /. float (max 1 r.Explorer.generated) *. 1e9
+          in
+          off_bound := sites_per_state *. probe_off_ns /. ns_per_state *. 100.;
+          !off_bound
+        end
+        else if !baseline > 0. then
+          (r.Explorer.duration -. !baseline) /. !baseline *. 100.
+        else 0.
+      in
+      record_entry
+        { be_section = "obs"; be_system = "pysyncobj"; be_workers = 1;
+          be_distinct = r.distinct; be_generated = r.generated;
+          be_wall_s = r.duration; be_outcome = outcome_tag r.outcome;
+          be_extra =
+            (("overhead_pct", overhead)
+            ::
+            (if name = "off" then
+               [ ("probe_off_ns_per_call", probe_off_ns);
+                 ("probe_sites_per_state", sites_per_state) ]
+             else [])) };
+      row widths
+        [ name; string_of_int r.distinct;
+          Fmt.str "%.3fs" r.duration;
+          (if name = "off" then Fmt.str "<%.2f%%" overhead
+           else Fmt.str "%+.1f%%" overhead) ];
+      Fmt.pr "%!")
+    levels;
+  rm_rf (scratch "dir");
+  Fmt.pr
+    "(probe off is the shipping default: each of the ~%.0f call sites per \
+     state branches on an option in %.1fns, bounding the disabled-probe \
+     tax at %.2f%% of exploration — the <2%% claim; metrics adds \
+     domain-local counter bumps and span timestamps; full adds trace \
+     spans and per-layer ndjson records)@."
+    sites_per_state probe_off_ns !off_bound
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (one per table)                            *)
 (* ------------------------------------------------------------------ *)
@@ -731,6 +861,7 @@ let sections =
     "ablation", ablation;
     "scaling", scaling;
     "checkpoint", checkpoint_bench;
+    "obs", obs_bench;
     "micro", micro ]
 
 let () =

@@ -96,6 +96,24 @@ let progress_every_arg =
   in
   Arg.(value & opt int 0 & info [ "progress-every" ] ~docv:"N" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of engine phases (expand, \
+     barrier waits, checkpoint and spill I/O) to $(docv) — load it in \
+     Perfetto or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Observability is on exactly when some artefact asked for it; the probe
+   is [None] otherwise, and every instrumentation hook in the engines
+   compiles down to a no-op branch. *)
+let obs_run ~workers ?trace_out ?run_dir () =
+  if trace_out <> None || run_dir <> None then
+    Some (Obs.Run.create ~workers ?trace_out ?dir:run_dir ())
+  else None
+
+let obs_probe = function Some o -> Obs.Run.probe o | None -> None
+
 let resolve_workers = function 0 -> Domain.recommended_domain_count () | n -> max 1 n
 
 let resolve name = try Ok (R.find name) with Not_found ->
@@ -139,18 +157,23 @@ let save_trace dir (events : Trace.t) =
 
 let check_cmd =
   let run name bugs time nodes workers run_dir every resume spill_window
-      progress_every =
+      progress_every trace_out =
     with_system name bugs (fun sys flags ->
         let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
         let spec = sys.spec flags in
         Fmt.epr "model checking %s on %a@." sys.name Scenario.pp scenario;
+        let obs = obs_run ~workers ?trace_out ?run_dir () in
+        let probe = obs_probe obs in
+        let progress_label = Fmt.str "check[%s/%s]" sys.name scenario.name in
         let progress =
           if progress_every > 0 then
             Some
               (fun (s : Explorer.stats) ->
-                Fmt.epr "  depth %d: %d distinct, %d generated, %.1fs@."
-                  s.depth s.distinct s.generated s.elapsed)
+                Obs.Progress.eprint ~label:progress_label
+                  ~unit_name:"distinct" ~count:s.distinct ~depth:s.depth
+                  ~generated:s.generated ~frontier:s.frontier_len
+                  ~elapsed:s.elapsed ())
           else None
         in
         let frontier =
@@ -162,7 +185,7 @@ let check_cmd =
             Some
               (Store.Spill.factory
                  ?dir:(Option.map (fun d -> Filename.concat d "spill") run_dir)
-                 ~window:spill_window ())
+                 ?probe ~window:spill_window ())
           end
           else None
         in
@@ -171,7 +194,8 @@ let check_cmd =
             time_budget = Some time;
             progress_every = (if progress_every > 0 then progress_every else 0);
             progress;
-            frontier }
+            frontier;
+            probe }
         in
         let bug_flags = String.concat "," (Bug.Flags.elements flags) in
         let identity =
@@ -185,9 +209,19 @@ let check_cmd =
             { base_opts with
               on_layer =
                 Some
-                  (Store.Checkpoint.hook ~dir ~identity ~every
+                  (Store.Checkpoint.hook ?probe ~dir ~identity ~every
                      ~on_save:(fun st ->
                        incr ckpt_count;
+                       Option.iter
+                         (fun o ->
+                           let open Store.Sjson in
+                           Obs.Run.event o
+                             [ ("type", Str "checkpoint");
+                               ("depth", Num (float_of_int st.ck_depth));
+                               ("distinct", Num (float_of_int st.ck_distinct));
+                               ("bytes", Num (float_of_int st.ck_bytes));
+                               ("seconds", Num st.ck_seconds) ])
+                         obs;
                        Fmt.epr
                          "  checkpoint at depth %d: %d states, %d bytes, \
                           %.3fs@."
@@ -246,6 +280,13 @@ let check_cmd =
               Fmt.epr "parallel BFS: %d workers, %d layers@." r.workers
                 r.layers;
               Fmt.epr "%a" Par.Par_explorer.pp_worker_stats r;
+              (* fingerprint-table occupancy per shard, as end-of-run gauges *)
+              Array.iteri
+                (fun i (st : Par.Shard_set.stat) ->
+                  Probe.gauge probe
+                    (Printf.sprintf "fptable.shard%02d.entries" i)
+                    (float_of_int st.s_entries))
+                r.shard_stats;
               r.base
             end
           in
@@ -256,6 +297,30 @@ let check_cmd =
             | Some dir, Explorer.Deadlock t -> save_trace dir t
             | _ -> None
           in
+          let obs_summary =
+            Option.map
+              (fun o ->
+                (match result.outcome with
+                | Explorer.Violation v ->
+                  let open Store.Sjson in
+                  Obs.Run.event o
+                    [ ("type", Str "violation");
+                      ("invariant", Str v.invariant);
+                      ("depth", Num (float_of_int v.depth)) ];
+                  Obs.Run.mark o ("violation: " ^ v.invariant)
+                | _ -> ());
+                Obs.Run.finish o ~outcome:(outcome_string result.outcome)
+                  ~distinct:result.distinct ~generated:result.generated
+                  ~max_depth:result.max_depth ~duration:result.duration ())
+              obs
+          in
+          Option.iter
+            (fun (s : Obs.Run.summary) ->
+              Fmt.epr
+                "observed: %.0f states/s, peak frontier %d, barrier idle \
+                 %.1f%%@."
+                s.s_throughput s.s_peak_frontier s.s_barrier_idle_pct)
+            obs_summary;
           Option.iter
             (fun dir ->
               let m = Option.get manifest in
@@ -274,7 +339,9 @@ let check_cmd =
                          (Filename.concat dir Store.Checkpoint.file)
                      then Some Store.Checkpoint.file
                      else None);
-                  m_trace = trace_rel }
+                  m_trace = trace_rel;
+                  m_metrics =
+                    Option.map Obs.Run.manifest_metrics obs_summary }
               in
               Store.Manifest.save ~dir m;
               Fmt.epr "run recorded in %s@." (Filename.concat dir Store.Manifest.file))
@@ -296,7 +363,7 @@ let check_cmd =
     Term.(
       const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg
       $ workers_arg $ run_dir_arg $ checkpoint_every_arg $ resume_arg
-      $ spill_window_arg $ progress_every_arg)
+      $ spill_window_arg $ progress_every_arg $ trace_out_arg)
 
 (* --- runs: list recorded runs ----------------------------------------- *)
 
@@ -337,22 +404,44 @@ let walks_arg =
   Arg.(value & opt int 100 & info [ "walks" ] ~docv:"N" ~doc:"Walk count.")
 
 let simulate_cmd =
-  let run name bugs walks seed nodes workers =
+  let run name bugs walks seed nodes workers progress_every trace_out =
     with_system name bugs (fun sys flags ->
         let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
         let opts = { Simulate.default with max_depth = 60 } in
+        let obs = obs_run ~workers ?trace_out () in
+        let probe = obs_probe obs in
+        let started = Unix.gettimeofday () in
+        let progress =
+          if progress_every > 0 then
+            Some
+              (fun n ->
+                Obs.Progress.eprint
+                  ~label:(Fmt.str "simulate[%s/%s]" sys.name scenario.name)
+                  ~unit_name:"walks" ~count:n
+                  ~elapsed:(Unix.gettimeofday () -. started) ())
+          else None
+        in
         (* Par_simulate at every worker count (1 spawns no domains): walk
            [i] depends only on (--seed, i), so -j never changes the walks *)
         let ws, stats =
-          Par.Par_simulate.walks_with_stats ~workers (sys.spec flags)
-            scenario opts ~seed ~count:walks
+          Par.Par_simulate.walks_with_stats ~workers ?probe ~progress_every
+            ?progress (sys.spec flags) scenario opts ~seed ~count:walks
         in
         if workers > 1 then begin
           Fmt.epr "parallel simulation: %d workers@." workers;
           Fmt.epr "%a" Par.Par_simulate.pp_worker_stats stats
         end;
         let agg = Simulate.aggregate ws in
+        ignore
+          (Option.map
+             (fun o ->
+               Obs.Run.finish o
+                 ~outcome:
+                   (if agg.violations > 0 then "violations" else "clean")
+                 ~generated:agg.total_events
+                 ~duration:(Unix.gettimeofday () -. started) ())
+             obs);
         Fmt.pr "%a@." Simulate.pp_aggregate agg;
         Store.Exit_code.of_simulation agg)
   in
@@ -360,7 +449,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ walks_arg $ seed_arg $ nodes_arg
-      $ workers_arg)
+      $ workers_arg $ progress_every_arg $ trace_out_arg)
 
 (* --- conform: conformance checking ------------------------------------ *)
 
@@ -368,27 +457,51 @@ let rounds_arg =
   Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Walk rounds.")
 
 let conform_cmd =
-  let run name bugs rounds seed nodes workers =
+  let run name bugs rounds seed nodes workers progress_every trace_out =
     with_system name bugs (fun sys flags ->
         let workers = resolve_workers workers in
         let scenario = scenario_of sys nodes in
         (* the spec models the fixed protocol; flags select impl bugs *)
         let spec = sys.spec Bug.Flags.empty in
+        let obs = obs_run ~workers ?trace_out () in
+        let probe = obs_probe obs in
+        let started = Unix.gettimeofday () in
+        let progress =
+          if progress_every > 0 then
+            Some
+              (fun round events ->
+                Obs.Progress.eprint
+                  ~label:(Fmt.str "conform[%s/%s]" sys.name scenario.name)
+                  ~unit_name:"rounds" ~count:round ~generated:events
+                  ~elapsed:(Unix.gettimeofday () -. started) ())
+          else None
+        in
         let walk_source =
           (* walk [round] depends only on (--seed, round), so -j never
              changes the report; workers>1 only pre-generates batches on a
              domain pool while replay stays sequential *)
           Some
-            (Par.Par_simulate.conformance_source ~workers spec scenario ~seed)
+            (Par.Par_simulate.conformance_source ~workers ?probe spec
+               scenario ~seed)
         in
         let report =
           Conformance.run ~mask:Systems.Common.conformance_mask ?walk_source
-            spec
+            ?probe ~progress_every ?progress spec
             ~boot:(fun sc -> sys.sut flags None sc)
             scenario ~rounds ~seed
         in
         if workers > 1 then
           Fmt.epr "walk generation: %d workers (replay sequential)@." workers;
+        ignore
+          (Option.map
+             (fun o ->
+               Obs.Run.finish o
+                 ~outcome:
+                   (match report.discrepancy with
+                   | Some _ -> "discrepancy"
+                   | None -> "conformant")
+                 ~generated:report.total_events ~duration:report.duration ())
+             obs);
         Fmt.pr "%a@." Conformance.pp_report report;
         Store.Exit_code.of_conformance report)
   in
@@ -399,7 +512,33 @@ let conform_cmd =
   Cmd.v (Cmd.info "conform" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ rounds_arg $ seed_arg $ nodes_arg
-      $ workers_arg)
+      $ workers_arg $ progress_every_arg $ trace_out_arg)
+
+(* --- stats: summarize a run directory --------------------------------- *)
+
+let stats_cmd =
+  let dir_arg =
+    let doc =
+      "Run directory to summarize (written by check --run-dir). Works on \
+       pre-observability run dirs too — those show the manifest summary \
+       and note that no metrics were recorded."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_DIR" ~doc)
+  in
+  let run dir =
+    match Obs.Report.load dir with
+    | Error m ->
+      Fmt.epr "%s@." m;
+      Store.Exit_code.usage
+    | Ok r ->
+      Fmt.pr "%a@." Obs.Report.pp r;
+      Store.Exit_code.ok
+  in
+  let doc =
+    "Summarize a run directory: manifest, recorded metrics (throughput, \
+     peak frontier, barrier idle, phase timers) and the event log."
+  in
+  Cmd.v (Cmd.info "stats" ~doc ~exits) Term.(const run $ dir_arg)
 
 (* --- rank: Algorithm 1 ------------------------------------------------ *)
 
@@ -478,5 +617,5 @@ let () =
   exit
     (Cmd.eval' ~term_err:Store.Exit_code.usage
        (Cmd.group info
-          [ check_cmd; runs_cmd; simulate_cmd; conform_cmd; rank_cmd;
-            bugs_cmd; systems_cmd ]))
+          [ check_cmd; runs_cmd; stats_cmd; simulate_cmd; conform_cmd;
+            rank_cmd; bugs_cmd; systems_cmd ]))

@@ -68,8 +68,8 @@ let replay_walk ~mask ~boot scenario round (walk : Simulate.walk) =
   in
   step 0 walk.events walk.observations
 
-let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget ?walk_source spec
-    ~boot scenario ~rounds ~seed =
+let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget ?walk_source ?probe
+    ?(progress_every = 0) ?progress spec ~boot scenario ~rounds ~seed =
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) time_budget in
   let rng = Random.State.make [| seed |] in
@@ -81,7 +81,11 @@ let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget ?walk_source spec
   let next_walk =
     match walk_source with
     | Some source -> fun round -> source walk_opts round
-    | None -> fun _round -> Simulate.walk spec scenario walk_opts rng
+    | None -> fun _round -> Simulate.walk ?probe spec scenario walk_opts rng
+  in
+  let tick round total_events =
+    if progress_every > 0 && round mod progress_every = 0 then
+      Option.iter (fun f -> f round total_events) progress
   in
   let rec loop round total_events =
     let expired =
@@ -96,12 +100,21 @@ let run ?(mask = Fun.id) ?(walk_depth = 30) ?time_budget ?walk_source spec
         duration = Unix.gettimeofday () -. started }
     else
       let walk = next_walk round in
-      match replay_walk ~mask ~boot scenario round walk with
+      Probe.span_begin probe "replay";
+      let outcome = replay_walk ~mask ~boot scenario round walk in
+      Probe.span_end probe "replay";
+      Probe.count probe "conform.rounds" 1;
+      match outcome with
       | Some d ->
+        Probe.count probe "conform.events" (d.failed_at + 1);
         { rounds_run = round;
           total_events = total_events + d.failed_at + 1;
           discrepancy = Some d;
           duration = Unix.gettimeofday () -. started }
-      | None -> loop (round + 1) (total_events + walk.depth)
+      | None ->
+        Probe.count probe "conform.events" walk.depth;
+        let total_events = total_events + walk.depth in
+        tick round total_events;
+        loop (round + 1) total_events
   in
   loop 1 0

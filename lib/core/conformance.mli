@@ -46,6 +46,9 @@ val run :
   ?walk_depth:int ->
   ?time_budget:float ->
   ?walk_source:(Simulate.options -> int -> Simulate.walk) ->
+  ?probe:Probe.t ->
+  ?progress_every:int ->
+  ?progress:(int -> int -> unit) ->
   Spec.t ->
   boot:(Scenario.t -> sut) ->
   Scenario.t ->
@@ -59,4 +62,9 @@ val run :
     [walk_source opts round] overrides walk generation (rounds are 1-based);
     the default draws sequential walks seeded with [seed]. The parallel
     engine plugs in here ([Par.Par_simulate.conformance_source]) to generate
-    walks on worker domains while replay stays sequential. *)
+    walks on worker domains while replay stays sequential.
+
+    With [probe], each replay runs in a ["replay"] span and bumps
+    [conform.rounds] / [conform.events]. [progress] (fired every
+    [progress_every] completed rounds) receives the round number and the
+    cumulative replayed-event count. *)

@@ -37,9 +37,16 @@ type options = {
   progress : (stats -> unit) option;
   on_layer : (int -> snapshot Lazy.t -> unit) option;
   frontier : frontier_factory option;
+  probe : Probe.t option;
 }
 
-and stats = { distinct : int; generated : int; depth : int; elapsed : float }
+and stats = {
+  distinct : int;
+  generated : int;
+  depth : int;
+  frontier_len : int;
+  elapsed : float;
+}
 
 let default =
   { symmetry = true;
@@ -52,7 +59,8 @@ let default =
     progress_every = 0;
     progress = None;
     on_layer = None;
-    frontier = None }
+    frontier = None;
+    probe = None }
 
 let queue_frontier () =
   let q = Queue.create () in
@@ -88,11 +96,24 @@ exception Stop of outcome
 module Run (S : Spec.S) = struct
   type entry = { prov : provenance; depth : int }
 
-  let fingerprint opts scenario state =
-    if opts.symmetry && S.permutable then
-      Symmetry.canonical_fp ~who:S.name ~permute:S.permute
-        ~nodes:scenario.Scenario.nodes state
-    else Fingerprint.of_state ~who:S.name state
+  (* [probe] is threaded separately from [opts] so the parallel engine can
+     hand each worker its own (domain-local) probe view. *)
+  let fingerprint ?probe opts scenario state =
+    if opts.symmetry && S.permutable then begin
+      Probe.span_begin probe "symmetry-normalize";
+      let fp =
+        Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
+          ~nodes:scenario.Scenario.nodes state
+      in
+      Probe.span_end probe "symmetry-normalize";
+      fp
+    end
+    else begin
+      Probe.span_begin probe "fingerprint";
+      let fp = Fingerprint.of_state ~who:S.name state in
+      Probe.span_end probe "fingerprint";
+      fp
+    end
 
   (* Walk provenance back to a root, returning (init_index, events). *)
   let trace_of visited fp =
@@ -177,6 +198,7 @@ module Run (S : Spec.S) = struct
 
   let check ?resume scenario opts =
     let started = Unix.gettimeofday () in
+    let probe = opts.probe in
     let visited : entry Fingerprint.Tbl.t = Fingerprint.Tbl.create 65536 in
     let fr =
       match opts.frontier with
@@ -196,13 +218,15 @@ module Run (S : Spec.S) = struct
         List.filter (fun (name, _) -> List.mem name names) S.invariants
     in
     let check_invariants fp depth state =
+      Probe.span_begin probe "invariant";
       List.iter
         (fun (name, holds) ->
           if not (holds scenario state) then begin
             let v = violation_of visited scenario fp name depth in
             if opts.stop_on_violation then raise (Stop (Violation v))
           end)
-        selected_invariants
+        selected_invariants;
+      Probe.span_end probe "invariant"
     in
     let over_budget depth =
       (match opts.max_states with
@@ -214,7 +238,7 @@ module Run (S : Spec.S) = struct
          | None -> false
     in
     let discover prov depth state =
-      let fp = fingerprint opts scenario state in
+      let fp = fingerprint ?probe opts scenario state in
       if not (Fingerprint.Tbl.mem visited fp) then begin
         Fingerprint.Tbl.replace visited fp { prov; depth };
         if depth > !max_depth_seen then max_depth_seen := depth;
@@ -225,9 +249,10 @@ module Run (S : Spec.S) = struct
           Option.iter
             (fun f ->
               f { distinct = n; generated = !generated; depth;
-                  elapsed = elapsed () })
+                  frontier_len = fr.fr_length (); elapsed = elapsed () })
             opts.progress
       end
+      else Probe.count probe "fp.dup" 1
     in
     (* cur_depth is the layer currently being expanded; layer_remaining its
        unexpanded tail. When it hits zero the frontier holds exactly the
@@ -260,19 +285,32 @@ module Run (S : Spec.S) = struct
             Fingerprint.Tbl.iter (fun fp e -> k fp e.prov e.depth) visited) }
     in
     let layer_remaining = ref (fr.fr_length ()) in
+    Probe.span_begin probe "expand";
     let outcome =
       try
         let continue = ref true in
         while !continue do
           if !layer_remaining = 0 then begin
             match fr.fr_length () with
-            | 0 -> continue := false
+            | 0 ->
+              continue := false;
+              (* terminal empty-frontier record, matching the parallel
+                 engine's last layer barrier — keeps per-layer event logs
+                 identical across engines and worker counts *)
+              Probe.layer probe ~depth:(!cur_depth + 1)
+                ~distinct:(Fingerprint.Tbl.length visited)
+                ~generated:!generated ~frontier:0 ~elapsed:(elapsed ())
             | n ->
               layer_remaining := n;
               incr cur_depth;
+              Probe.span_end probe "expand";
+              Probe.layer probe ~depth:!cur_depth
+                ~distinct:(Fingerprint.Tbl.length visited)
+                ~generated:!generated ~frontier:n ~elapsed:(elapsed ());
               Option.iter
                 (fun hook -> hook !cur_depth (lazy (snapshot_now ())))
-                opts.on_layer
+                opts.on_layer;
+              Probe.span_begin probe "expand"
           end;
           if !continue then begin
             let state, fp, depth = Option.get (fr.fr_pop ()) in
@@ -294,6 +332,7 @@ module Run (S : Spec.S) = struct
         Exhausted
       with Stop o -> o
     in
+    Probe.span_end probe "expand";
     fr.fr_close ();
     { outcome;
       distinct = Fingerprint.Tbl.length visited;

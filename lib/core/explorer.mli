@@ -60,9 +60,20 @@ type options = {
           frontier + visited-set walk, so hooks should only force when they
           actually persist (e.g. every k layers) *)
   frontier : frontier_factory option;  (** [None] = in-memory queue *)
+  probe : Probe.t option;
+      (** observability hook ([None] = zero-cost off): phase spans
+          (expand / fingerprint / symmetry-normalize / invariant), counters
+          ([fp.dup], symmetry-cache hits) and one {!Probe.layer} record per
+          BFS layer barrier *)
 }
 
-and stats = { distinct : int; generated : int; depth : int; elapsed : float }
+and stats = {
+  distinct : int;
+  generated : int;
+  depth : int;
+  frontier_len : int;  (** states queued but not yet expanded *)
+  elapsed : float;
+}
 
 val default : options
 

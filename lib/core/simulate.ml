@@ -16,7 +16,8 @@ type options = {
 let default =
   { max_depth = 50; record_observations = false; stop_on_violation = true }
 
-let walk (module S : Spec.S) scenario opts rng =
+let walk ?probe (module S : Spec.S) scenario opts rng =
+  Probe.span_begin probe "walk";
   let broken state =
     List.find_map
       (fun (name, holds) -> if holds scenario state then None else Some name)
@@ -55,16 +56,20 @@ let walk (module S : Spec.S) scenario opts rng =
   let (events, observations, violation, deadlocked), coverage =
     Coverage.collect run
   in
+  let depth = List.length events in
+  Probe.count probe "sim.walks" 1;
+  Probe.count probe "sim.events" depth;
+  Probe.span_end probe "walk";
   { events = List.rev events;
-    depth = List.length events;
+    depth;
     coverage;
     violation;
     observations = List.rev observations;
     deadlocked }
 
-let walks spec scenario opts ~seed ~count =
+let walks ?probe spec scenario opts ~seed ~count =
   let rng = Random.State.make [| seed |] in
-  List.init count (fun _ -> walk spec scenario opts rng)
+  List.init count (fun _ -> walk ?probe spec scenario opts rng)
 
 type aggregate = {
   runs : int;

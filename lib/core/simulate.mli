@@ -25,12 +25,16 @@ type options = {
 
 val default : options
 
-val walk : Spec.t -> Scenario.t -> options -> Random.State.t -> walk
+val walk : ?probe:Probe.t -> Spec.t -> Scenario.t -> options ->
+  Random.State.t -> walk
 (** One random walk from a uniformly chosen initial state, choosing
-    uniformly among enabled transitions of constraint-satisfying states. *)
+    uniformly among enabled transitions of constraint-satisfying states.
+    With [probe], the walk runs inside a ["walk"] span and bumps the
+    [sim.walks] / [sim.events] counters. *)
 
 val walks :
-  Spec.t -> Scenario.t -> options -> seed:int -> count:int -> walk list
+  ?probe:Probe.t -> Spec.t -> Scenario.t -> options -> seed:int ->
+  count:int -> walk list
 
 type aggregate = {
   runs : int;

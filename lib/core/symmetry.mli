@@ -6,8 +6,11 @@ val permutations : int -> int array list
 (** All permutations of [0 .. n-1]; the identity comes first. *)
 
 val canonical_fp :
-  ?who:string -> permute:(int array -> 's -> 's) -> nodes:int -> 's ->
-  Fingerprint.t
+  ?probe:Probe.t -> ?who:string -> permute:(int array -> 's -> 's) ->
+  nodes:int -> 's -> Fingerprint.t
 (** Minimal fingerprint over all node permutations of the state. [who] names
     the spec in fingerprinting error messages. Safe to call from concurrent
-    domains (the permutation cache is lock-free). *)
+    domains (the permutation cache is lock-free). With [probe], counts
+    permutation-cache hits/misses ([symmetry.perm_cache_hits]/[_misses]);
+    miss counts can differ across worker counts (a lost CAS race merely
+    recomputes). *)

@@ -1,0 +1,59 @@
+(* Append-only ndjson event log (events.ndjsonl in a run directory): one
+   compact JSON object per line, written under a mutex and flushed per
+   record so a crashed run still leaves every completed line readable. *)
+
+let file = "events.ndjsonl"
+
+type t = { oc : out_channel; mutex : Mutex.t; mutable closed : bool }
+
+let create ~path = { oc = open_out path; mutex = Mutex.create (); closed = false }
+
+let emit t fields =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        output_string t.oc
+          (Store.Sjson.to_string_compact (Store.Sjson.Obj fields));
+        output_char t.oc '\n';
+        flush t.oc
+      end)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        close_out t.oc
+      end)
+
+(* Reader used by the [stats] subcommand and tests: parse every line,
+   skipping blanks, surfacing the first malformed line as an error. *)
+let read_all path =
+  let ic = open_in path in
+  let records = ref [] in
+  let line_no = ref 0 in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev !records)
+          | line ->
+            incr line_no;
+            if String.trim line = "" then loop ()
+            else (
+              match Store.Sjson.of_string line with
+              | Ok j ->
+                records := j :: !records;
+                loop ()
+              | Error m ->
+                Error (Printf.sprintf "%s:%d: %s" path !line_no m))
+        in
+        loop ())
+  in
+  result

@@ -1,0 +1,18 @@
+(** Append-only [events.ndjsonl] log of run milestones: one compact JSON
+    object per line, flushed per record (a crashed run keeps every
+    completed line). Records are written by {!Run} — layer summaries,
+    checkpoint saves, progress milestones, violations, the final "done"
+    record. *)
+
+val file : string
+(** ["events.ndjsonl"], relative to the run directory. *)
+
+type t
+
+val create : path:string -> t
+val emit : t -> (string * Store.Sjson.t) list -> unit
+val close : t -> unit
+
+val read_all : string -> (Store.Sjson.t list, string) result
+(** Parse every non-blank line; the first malformed line aborts with its
+    line number. *)

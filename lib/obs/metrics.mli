@@ -1,0 +1,57 @@
+(** Domain-local metric collectors and their deterministic merge.
+
+    Each worker owns one {!collector} and is the only domain that touches
+    it, so the hot reporting path (counter bumps, span begin/end) takes no
+    locks. A {!merge} at a quiescent point (layer barrier, end of run)
+    folds the collectors {e in worker order} and sorts every family by
+    name — the resulting {!summary} does not depend on domain scheduling,
+    and for the deterministic engines the counter values are identical at
+    every worker count (see the denylist note in [test/test_obs.ml] for
+    the one racy exception, symmetry permutation-cache hit/miss split). *)
+
+type gauge = { mutable g_last : float; mutable g_max : float }
+type timer = { mutable tm_count : int; mutable tm_total : float }
+
+type collector
+
+val create_collector : unit -> collector
+val create_collectors : workers:int -> collector array
+
+(** {2 Per-worker operations} — call only from the owning domain. *)
+
+val add_count : collector -> string -> int -> unit
+val set_gauge : collector -> string -> float -> unit
+
+val add_timer : collector -> string -> float -> unit
+(** One completed interval of [dur] seconds. *)
+
+val begin_span : collector -> string -> now:float -> unit
+
+val end_span : collector -> string -> now:float -> float option
+(** Closes the innermost open span with this name and feeds its duration
+    into the timer family, returning its start time (for trace emission).
+    [None] if no such span is open (e.g. an exception already unwound past
+    it); unmatched ends are ignored rather than fatal. *)
+
+val drain : collector -> now:float -> unit
+(** Close every span still open, crediting time up to [now] — called once
+    at the end of a run so exceptions don't silently drop phase time. *)
+
+(** {2 Merged view} *)
+
+type summary = {
+  s_counters : (string * int) list;  (** summed, sorted by name *)
+  s_gauges : (string * gauge) list;
+      (** max-of-max; last = latest in worker order *)
+  s_timers : (string * timer) list;  (** counts and totals summed *)
+}
+
+val merge : collector array -> summary
+
+val counter : summary -> string -> int
+(** 0 when absent. *)
+
+val timer_total : summary -> string -> float
+(** Total seconds, 0 when absent. *)
+
+val to_json : summary -> Store.Sjson.t

@@ -1,0 +1,31 @@
+(* The one progress-line formatter every CLI command shares, so check /
+   simulate / conform stderr output stays uniform:
+
+     check[toy/n2]: depth 5, 1234 distinct, 4567 generated, frontier 89, 1538 states/s, 0.8s
+     simulate[raft/n3]: 500 walks, 423 walks/s, 1.2s
+*)
+
+let rate ~count ~elapsed = if elapsed > 0. then float count /. elapsed else 0.
+
+let line ~label ~unit_name ~count ?depth ?generated ?frontier ~elapsed () =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf label;
+  Buffer.add_string buf ": ";
+  (match depth with
+  | Some d -> Buffer.add_string buf (Printf.sprintf "depth %d, " d)
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf "%d %s" count unit_name);
+  (match generated with
+  | Some g -> Buffer.add_string buf (Printf.sprintf ", %d generated" g)
+  | None -> ());
+  (match frontier with
+  | Some f -> Buffer.add_string buf (Printf.sprintf ", frontier %d" f)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf ", %.0f %s/s, %.1fs" (rate ~count ~elapsed) unit_name
+       elapsed);
+  Buffer.contents buf
+
+let eprint ~label ~unit_name ~count ?depth ?generated ?frontier ~elapsed () =
+  Printf.eprintf "%s\n%!"
+    (line ~label ~unit_name ~count ?depth ?generated ?frontier ~elapsed ())

@@ -1,0 +1,20 @@
+(** Shared progress-line formatting for [--progress-every] reporting —
+    check, simulate and conform all render through {!line} so the stderr
+    shape (including rate and elapsed time) is uniform across commands. *)
+
+val rate : count:int -> elapsed:float -> float
+(** [count / elapsed], 0 when no time has passed. *)
+
+val line :
+  label:string -> unit_name:string -> count:int -> ?depth:int ->
+  ?generated:int -> ?frontier:int -> elapsed:float -> unit -> string
+(** E.g. [line ~label:"check[toy/n2]" ~unit_name:"distinct" ~count:1234
+    ~depth:5 ~generated:4567 ~frontier:89 ~elapsed:0.8 ()] →
+    ["check[toy/n2]: depth 5, 1234 distinct, 4567 generated, frontier 89,
+      1542 distinct/s, 0.8s"]. *)
+
+val eprint :
+  label:string -> unit_name:string -> count:int -> ?depth:int ->
+  ?generated:int -> ?frontier:int -> elapsed:float -> unit -> unit
+(** {!line} to stderr with a flush (safe to call from worker domains —
+    each line is one write). *)

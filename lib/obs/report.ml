@@ -1,0 +1,106 @@
+(* The [sandtable stats <run-dir>] reader: summarize whatever artefacts a
+   run directory holds — manifest (v1 or v2), metrics.json, events.ndjsonl
+   — degrading gracefully when some are absent (a v1 run dir has only the
+   manifest and maybe a checkpoint). *)
+
+type t = {
+  rp_dir : string;
+  rp_manifest : (Store.Manifest.t, string) result option;
+  rp_metrics : Store.Sjson.t option;
+  rp_events : (Store.Sjson.t list, string) result option;
+}
+
+let load dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else begin
+    let manifest =
+      if Sys.file_exists (Filename.concat dir Store.Manifest.file) then
+        Some (Store.Manifest.load ~dir)
+      else None
+    in
+    let metrics =
+      let path = Filename.concat dir Run.metrics_file in
+      if Sys.file_exists path then
+        let ic = open_in_bin path in
+        let raw =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        Result.to_option (Store.Sjson.of_string raw)
+      else None
+    in
+    let events =
+      let path = Filename.concat dir Events.file in
+      if Sys.file_exists path then Some (Events.read_all path) else None
+    in
+    match manifest, metrics, events with
+    | None, None, None ->
+      Error
+        (Printf.sprintf
+           "%s: no %s, %s or %s — not a run directory" dir
+           Store.Manifest.file Run.metrics_file Events.file)
+    | _ ->
+      Ok { rp_dir = dir; rp_manifest = manifest; rp_metrics = metrics;
+           rp_events = events }
+  end
+
+let num j name = Option.bind (Store.Sjson.member name j) Store.Sjson.to_num
+let str j name = Option.bind (Store.Sjson.member name j) Store.Sjson.to_str
+
+let event_type j = match str j "type" with Some t -> t | None -> ""
+
+let pp_events ppf records =
+  let layers = List.filter (fun r -> event_type r = "layer") records in
+  let checkpoints =
+    List.filter (fun r -> event_type r = "checkpoint") records
+  in
+  let violations =
+    List.filter (fun r -> event_type r = "violation") records
+  in
+  Fmt.pf ppf "events: %d records (%d layers, %d checkpoints%s)@,"
+    (List.length records) (List.length layers) (List.length checkpoints)
+    (if violations <> [] then ", violation recorded" else "");
+  match List.rev layers with
+  | last :: _ ->
+    let get name = Option.value ~default:0. (num last name) in
+    Fmt.pf ppf "last layer: depth %.0f, %.0f distinct, frontier %.0f@,"
+      (get "depth") (get "distinct") (get "frontier")
+  | [] -> ()
+
+let pp_metrics ppf m =
+  let fnum name = Option.value ~default:0. (num m name) in
+  Fmt.pf ppf "throughput: %.0f states/s@," (fnum "throughput_states_per_sec");
+  Fmt.pf ppf "peak frontier: %.0f, layers: %.0f, barrier idle: %.1f%%@,"
+    (fnum "peak_frontier") (fnum "layers") (fnum "barrier_idle_pct");
+  match
+    Option.bind (Store.Sjson.member "metrics" m) (Store.Sjson.member "timers")
+  with
+  | Some (Store.Sjson.Obj timers) when timers <> [] ->
+    Fmt.pf ppf "phases:@,";
+    List.iter
+      (fun (name, tj) ->
+        let total = Option.value ~default:0. (num tj "total_s") in
+        let count = Option.value ~default:0. (num tj "count") in
+        Fmt.pf ppf "  %-20s %8.3fs  (%.0f spans)@," name total count)
+      timers
+  | _ -> ()
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%s@," r.rp_dir;
+  (match r.rp_manifest with
+  | Some (Ok m) -> Fmt.pf ppf "%a@," Store.Manifest.pp m
+  | Some (Error e) -> Fmt.pf ppf "manifest unreadable: %s@," e
+  | None -> ());
+  (match r.rp_metrics with
+  | Some m -> pp_metrics ppf m
+  | None ->
+    Fmt.pf ppf
+      "no metrics recorded (pre-observability run, or run without \
+       --run-dir)@,");
+  (match r.rp_events with
+  | Some (Ok records) -> pp_events ppf records
+  | Some (Error e) -> Fmt.pf ppf "events unreadable: %s@," e
+  | None -> ());
+  Fmt.pf ppf "@]"

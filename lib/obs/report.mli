@@ -1,0 +1,15 @@
+(** Reader behind [sandtable stats <run-dir>]: loads whatever artefacts
+    the directory holds — manifest (v1 {e or} v2), [metrics.json],
+    [events.ndjsonl] — and pretty-prints a summary. Every artefact is
+    optional (a v1 run dir predating observability has only the manifest);
+    loading fails only when none are present. *)
+
+type t = {
+  rp_dir : string;
+  rp_manifest : (Store.Manifest.t, string) result option;
+  rp_metrics : Store.Sjson.t option;  (** parsed [metrics.json] *)
+  rp_events : (Store.Sjson.t list, string) result option;
+}
+
+val load : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

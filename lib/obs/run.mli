@@ -1,0 +1,62 @@
+(** One observed run: the glue between the engines' {!Sandtable.Probe}
+    hooks and the on-disk artefacts.
+
+    [create] builds per-worker metric collectors, an optional Chrome
+    trace-event file ([--trace-out]) and an optional run-directory event
+    log ([events.ndjsonl]); [probe] hands back the probe to thread through
+    [Explorer.options], [Par_simulate], [Store.Checkpoint.hook], …;
+    [finish] drains and merges the collectors, writes [metrics.json] into
+    the run directory, appends the final "done" event and closes both
+    files, returning the {!summary} the CLI folds into the manifest.
+
+    Span → artefact routing: every span feeds the merged phase timers, but
+    only coarse phases ([trace_phases], default {!default_trace_phases})
+    are forwarded to the trace file — per-state spans (fingerprint,
+    symmetry-normalize, invariant, walk) would bloat it by orders of
+    magnitude, so they aggregate silently. *)
+
+type t
+
+val metrics_file : string
+(** ["metrics.json"], relative to the run directory. *)
+
+val default_trace_phases : string list
+(** [expand], [barrier-wait], [walks], [replay], [checkpoint],
+    [spill-io]. *)
+
+val create :
+  ?workers:int -> ?trace_out:string -> ?dir:string ->
+  ?trace_phases:string list -> unit -> t
+(** [workers] sizes the collector array (default 1; out-of-range worker
+    indices fall back to collector 0). [dir] is created if missing. *)
+
+val probe : t -> Sandtable.Probe.t option
+(** Always [Some] — typed as an option to slot directly into
+    [Explorer.options.probe] and [?probe] parameters. *)
+
+val dir : t -> string option
+
+val event : t -> (string * Store.Sjson.t) list -> unit
+(** Append one record to [events.ndjsonl] (no-op without a run dir). The
+    CLI uses this for checkpoint saves and violations. *)
+
+val mark : t -> string -> unit
+(** Drop an instant marker into the trace (no-op without [trace_out]). *)
+
+type summary = {
+  s_throughput : float;  (** generated states (or events) per second *)
+  s_peak_frontier : int;  (** largest BFS layer observed *)
+  s_barrier_idle_pct : float;
+      (** barrier-wait time as % of (expand+walks) + barrier-wait *)
+  s_layers : int;  (** layer records observed *)
+  s_metrics : Metrics.summary;
+}
+
+val finish :
+  t -> outcome:string -> ?distinct:int -> ?generated:int -> ?max_depth:int ->
+  duration:float -> unit -> summary
+(** Idempotent artefact finalization: drain collectors, merge, write
+    [metrics.json], append the "done" event, close trace and event files. *)
+
+val manifest_metrics : summary -> Store.Manifest.metrics
+(** The summary trio in the shape the v2 manifest stores. *)

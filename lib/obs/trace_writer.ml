@@ -1,0 +1,95 @@
+(* Chrome trace-event JSON (the "JSON array format" chrome://tracing and
+   Perfetto load): {"traceEvents":[...]}. Events are streamed as they
+   complete, under a mutex — only coarse phase spans reach this writer
+   (a handful per layer), so the lock is nowhere near any hot path. *)
+
+type t = {
+  oc : out_channel;
+  mutex : Mutex.t;
+  t0 : float;  (* run epoch; timestamps are microseconds since this *)
+  mutable first : bool;
+  mutable named_tids : int list;
+  mutable closed : bool;
+}
+
+let create ~path ~t0 =
+  let oc = open_out path in
+  output_string oc "{\"traceEvents\":[";
+  let t =
+    { oc; mutex = Mutex.create (); t0; first = true; named_tids = [];
+      closed = false }
+  in
+  t
+
+let raw_emit t json =
+  if t.first then t.first <- false else output_char t.oc ',';
+  output_char t.oc '\n';
+  output_string t.oc (Store.Sjson.to_string_compact json)
+
+let meta_thread_name t tid =
+  let open Store.Sjson in
+  raw_emit t
+    (Obj
+       [ ("ph", Str "M");
+         ("name", Str "thread_name");
+         ("pid", Num 1.);
+         ("tid", Num (float_of_int tid));
+         ( "args",
+           Obj [ ("name", Str (Printf.sprintf "worker %d" tid)) ] ) ])
+
+let ensure_tid t tid =
+  if not (List.mem tid t.named_tids) then begin
+    t.named_tids <- tid :: t.named_tids;
+    meta_thread_name t tid
+  end
+
+let span t ~tid ~name ~t0 ~t1 =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        ensure_tid t tid;
+        let ts = (t0 -. t.t0) *. 1e6 in
+        let dur = (t1 -. t0) *. 1e6 in
+        let open Store.Sjson in
+        raw_emit t
+          (Obj
+             [ ("ph", Str "X");
+               ("name", Str name);
+               ("cat", Str "sandtable");
+               ("pid", Num 1.);
+               ("tid", Num (float_of_int tid));
+               ("ts", Num (Float.max 0. ts));
+               ("dur", Num (Float.max 0. dur)) ])
+      end)
+
+let instant t ~tid ~name ~at =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        ensure_tid t tid;
+        let open Store.Sjson in
+        raw_emit t
+          (Obj
+             [ ("ph", Str "i");
+               ("name", Str name);
+               ("cat", Str "sandtable");
+               ("s", Str "g");
+               ("pid", Num 1.);
+               ("tid", Num (float_of_int tid));
+               ("ts", Num (Float.max 0. ((at -. t.t0) *. 1e6))) ])
+      end)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        output_string t.oc "\n]}\n";
+        close_out t.oc
+      end)

@@ -1,0 +1,25 @@
+(** Streaming Chrome trace-event writer ([{"traceEvents":[...]}] — the
+    format chrome://tracing and Perfetto load).
+
+    Spans are complete ("ph":"X") events: worker index as [tid],
+    microsecond timestamps relative to the run epoch [t0]. The first event
+    on each tid is preceded by a ["thread_name"] metadata record so the
+    trace viewer labels rows "worker 0", "worker 1", … Writes are
+    mutex-serialized; only coarse phase spans (a handful per BFS layer)
+    reach this writer, so the lock never contends with per-state work. *)
+
+type t
+
+val create : path:string -> t0:float -> t
+(** Opens [path] and writes the JSON prologue. [t0] is the run epoch
+    (absolute Unix seconds); all event timestamps are relative to it. *)
+
+val span : t -> tid:int -> name:string -> t0:float -> t1:float -> unit
+(** A completed span with absolute Unix-second endpoints. *)
+
+val instant : t -> tid:int -> name:string -> at:float -> unit
+(** A zero-duration marker (e.g. a violation). *)
+
+val close : t -> unit
+(** Writes the epilogue and closes the file. Idempotent; spans arriving
+    after close are dropped. *)

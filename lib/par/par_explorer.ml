@@ -55,11 +55,23 @@ module Run (S : Spec.S) = struct
     else if b.depth < a.depth then b
     else if compare a.pos b.pos <= 0 then a
     else b
-  let fingerprint (opts : Explorer.options) (scenario : Scenario.t) state =
-    if opts.symmetry && S.permutable then
-      Symmetry.canonical_fp ~who:S.name ~permute:S.permute
-        ~nodes:scenario.Scenario.nodes state
-    else Fingerprint.of_state ~who:S.name state
+  let fingerprint ?probe (opts : Explorer.options) (scenario : Scenario.t)
+      state =
+    if opts.symmetry && S.permutable then begin
+      Probe.span_begin probe "symmetry-normalize";
+      let fp =
+        Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
+          ~nodes:scenario.Scenario.nodes state
+      in
+      Probe.span_end probe "symmetry-normalize";
+      fp
+    end
+    else begin
+      Probe.span_begin probe "fingerprint";
+      let fp = Fingerprint.of_state ~who:S.name state in
+      Probe.span_end probe "fingerprint";
+      fp
+    end
 
   let final_state scenario init_index events =
     let s0 = List.nth (S.init scenario) init_index in
@@ -123,6 +135,7 @@ module Run (S : Spec.S) = struct
     let started = Unix.gettimeofday () in
     let elapsed () = Unix.gettimeofday () -. started in
     let workers = Pool.size pool in
+    let probe = opts.probe in
     let visited : entry Shard_set.t = Shard_set.create ~shards:64 () in
     let deadline = Option.map (fun b -> started +. b) opts.time_budget in
     let selected_invariants =
@@ -162,7 +175,7 @@ module Run (S : Spec.S) = struct
     let max_depth_seen = ref 0 in
     let layers = ref 0 in
     let last_progress = ref 0 in
-    let progress_tick depth =
+    let progress_tick depth ~frontier_len =
       if opts.progress_every > 0 then begin
         let n = !distinct_total in
         if n / opts.progress_every > !last_progress / opts.progress_every then begin
@@ -170,7 +183,7 @@ module Run (S : Spec.S) = struct
           Option.iter
             (fun f ->
               f { Explorer.distinct = n; generated = !gen_prev; depth;
-                  elapsed = elapsed () })
+                  frontier_len; elapsed = elapsed () })
             opts.progress
         end
       end
@@ -202,7 +215,7 @@ module Run (S : Spec.S) = struct
       List.iteri
         (fun i s ->
           if !outcome = None then begin
-            let fp = fingerprint opts scenario s in
+            let fp = fingerprint ?probe opts scenario s in
             let e = { prov = Root i; depth = 0; pos = (0, i); state = None } in
             if Shard_set.add_if_absent visited fp e then begin
               incr distinct_total;
@@ -248,10 +261,17 @@ module Run (S : Spec.S) = struct
         let inserted : Fingerprint.t list array = Array.make workers [] in
         let cands : candidate list array = Array.make workers [] in
         let layer_gen = Array.make workers 0 in
+        (* per-worker layer end times, seeded with the layer start so idle
+           workers (empty range) count as waiting the whole layer; the
+           coordinator turns [wend.(w) .. barrier] into barrier-wait spans *)
+        let layer_t0 = if Probe.is_on probe then Unix.gettimeofday () else 0. in
+        let wend = Array.make workers layer_t0 in
         Pool.run pool (fun w ->
             if w < Array.length ranges then begin
               let lo, hi = ranges.(w) in
+              let wp = Probe.worker probe w in
               let t0 = Unix.gettimeofday () in
+              Probe.span_begin wp "expand";
               let my_inserted = ref [] in
               let my_cands = ref [] in
               let gen = ref 0 in
@@ -269,7 +289,7 @@ module Run (S : Spec.S) = struct
                    List.iteri
                      (fun j (event, state') ->
                        incr gen;
-                       let fp' = fingerprint opts scenario state' in
+                       let fp' = fingerprint ?probe:wp opts scenario state' in
                        let e =
                          { prov = Step { parent = fp; event };
                            depth = d + 1;
@@ -279,12 +299,16 @@ module Run (S : Spec.S) = struct
                        if Shard_set.merge visited fp' e ~keep:better then begin
                          incr ins;
                          my_inserted := fp' :: !my_inserted;
-                         if opts.stop_on_violation then
-                           match first_broken state' with
+                         if opts.stop_on_violation then begin
+                           Probe.span_begin wp "invariant";
+                           (match first_broken state' with
                            | Some inv ->
                              my_cands := Broken (fp', inv) :: !my_cands
-                           | None -> ()
-                       end)
+                           | None -> ());
+                           Probe.span_end wp "invariant"
+                         end
+                       end
+                       else Probe.count wp "fp.dup" 1)
                      succs;
                    match deadline with
                    | Some t
@@ -299,8 +323,20 @@ module Run (S : Spec.S) = struct
               st_expanded.(w) <- st_expanded.(w) + !expanded;
               st_generated.(w) <- st_generated.(w) + !gen;
               st_inserted.(w) <- st_inserted.(w) + !ins;
-              st_busy.(w) <- st_busy.(w) +. (Unix.gettimeofday () -. t0)
+              (* close the expand span before taking t1 so the barrier-wait
+                 span (which starts at t1) never overlaps it in the trace *)
+              Probe.span_end wp "expand";
+              let t1 = Unix.gettimeofday () in
+              wend.(w) <- t1;
+              st_busy.(w) <- st_busy.(w) +. (t1 -. t0)
             end);
+        if Probe.is_on probe then begin
+          let barrier_t = Unix.gettimeofday () in
+          for w = 0 to workers - 1 do
+            Probe.span_at (Probe.worker probe w) "barrier-wait"
+              ~t0:wend.(w) ~t1:barrier_t
+          done
+        end;
         let all_inserted =
           Array.fold_right (fun l acc -> List.rev_append l acc) inserted []
         in
@@ -386,7 +422,10 @@ module Run (S : Spec.S) = struct
             in
             frontier := Array.of_list (List.map (fun (_, s, fp) -> s, fp) next);
             depth := d + 1;
-            progress_tick (d + 1);
+            Probe.layer probe ~depth:(d + 1) ~distinct:!distinct_total
+              ~generated:!gen_prev ~frontier:(Array.length !frontier)
+              ~elapsed:(elapsed ());
+            progress_tick (d + 1) ~frontier_len:(Array.length !frontier);
             (* the natural barrier: no layer in flight, frontier complete *)
             if Array.length !frontier > 0 then
               Option.iter

@@ -16,36 +16,60 @@ let derived_seed root i =
 
 let rng_for ~seed i = Random.State.make [| seed; derived_seed seed i |]
 
-let walks_with_stats ?workers ?(offset = 0) spec scenario
-    (opts : Simulate.options) ~seed ~count =
+let walks_with_stats ?workers ?(offset = 0) ?probe ?(progress_every = 0)
+    ?progress spec scenario (opts : Simulate.options) ~seed ~count =
   let workers =
     match workers with
     | Some w -> max 1 w
     | None -> Domain.recommended_domain_count ()
   in
   let results : Simulate.walk option array = Array.make count None in
+  (* completed-walk count shared across domains, only for progress ticks *)
+  let done_walks = Atomic.make 0 in
   let stats =
     Pool.with_pool workers (fun pool ->
         let ranges = Array.of_list (Pool.split ~chunks:workers ~len:count) in
         let ws_walks = Array.make workers 0 in
         let ws_events = Array.make workers 0 in
         let ws_busy = Array.make workers 0. in
+        let batch_t0 =
+          if Probe.is_on probe then Unix.gettimeofday () else 0.
+        in
+        let wend = Array.make workers batch_t0 in
         Pool.run pool (fun w ->
             if w < Array.length ranges then begin
               let lo, hi = ranges.(w) in
+              let wp = Probe.worker probe w in
               let t0 = Unix.gettimeofday () in
+              Probe.span_begin wp "walks";
               let events = ref 0 in
               for i = lo to hi - 1 do
                 let walk =
-                  Simulate.walk spec scenario opts (rng_for ~seed (offset + i))
+                  Simulate.walk ?probe:wp spec scenario opts
+                    (rng_for ~seed (offset + i))
                 in
                 events := !events + walk.Simulate.depth;
-                results.(i) <- Some walk
+                results.(i) <- Some walk;
+                if progress_every > 0 then begin
+                  let n = Atomic.fetch_and_add done_walks 1 + 1 in
+                  if n mod progress_every = 0 then
+                    Option.iter (fun f -> f n) progress
+                end
               done;
               ws_walks.(w) <- hi - lo;
               ws_events.(w) <- !events;
-              ws_busy.(w) <- Unix.gettimeofday () -. t0
+              Probe.span_end wp "walks";
+              let t1 = Unix.gettimeofday () in
+              wend.(w) <- t1;
+              ws_busy.(w) <- t1 -. t0
             end);
+        if Probe.is_on probe then begin
+          let barrier_t = Unix.gettimeofday () in
+          for w = 0 to workers - 1 do
+            Probe.span_at (Probe.worker probe w) "barrier-wait"
+              ~t0:wend.(w) ~t1:barrier_t
+          done
+        end;
         Array.init workers (fun w ->
             { ws_walks = ws_walks.(w);
               ws_events = ws_events.(w);
@@ -61,14 +85,14 @@ let walks_with_stats ?workers ?(offset = 0) spec scenario
   in
   walks, stats
 
-let walks ?workers ?offset spec scenario opts ~seed ~count =
-  fst (walks_with_stats ?workers ?offset spec scenario opts ~seed ~count)
+let walks ?workers ?offset ?probe spec scenario opts ~seed ~count =
+  fst (walks_with_stats ?workers ?offset ?probe spec scenario opts ~seed ~count)
 
 (* Pre-generates walks in parallel batches for Conformance.run's
    round-by-round (sequential, implementation-level) replay loop. Walk
    [round] depends only on (seed, round), so reports are reproducible at any
    worker count. *)
-let conformance_source ?workers ?(batch = 64) spec scenario ~seed =
+let conformance_source ?workers ?(batch = 64) ?probe spec scenario ~seed =
   let batch = max 1 batch in
   let cache : (int, Simulate.walk) Hashtbl.t = Hashtbl.create 97 in
   fun (opts : Simulate.options) round ->
@@ -78,7 +102,7 @@ let conformance_source ?workers ?(batch = 64) spec scenario ~seed =
     | None ->
       let lo = i / batch * batch in
       let ws =
-        walks ?workers ~offset:lo spec scenario opts ~seed ~count:batch
+        walks ?workers ~offset:lo ?probe spec scenario opts ~seed ~count:batch
       in
       List.iteri (fun k w -> Hashtbl.replace cache (lo + k) w) ws;
       Hashtbl.find cache i

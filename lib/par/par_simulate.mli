@@ -17,20 +17,29 @@ val derived_seed : int -> int -> int
 (** [derived_seed root i]: the per-walk seed for walk [i]. *)
 
 val walks :
-  ?workers:int -> ?offset:int -> Sandtable.Spec.t -> Sandtable.Scenario.t ->
+  ?workers:int -> ?offset:int -> ?probe:Sandtable.Probe.t ->
+  Sandtable.Spec.t -> Sandtable.Scenario.t ->
   Sandtable.Simulate.options -> seed:int -> count:int ->
   Sandtable.Simulate.walk list
 (** [workers] defaults to [Domain.recommended_domain_count ()]; [offset]
     (default 0) shifts the walk indices, so [walks ~offset:k ~count:n] are
-    walks [k .. k+n-1] of the root seed's stream. *)
+    walks [k .. k+n-1] of the root seed's stream. With [probe], each worker
+    runs its batch inside a ["walks"] span (with a trailing ["barrier-wait"]
+    span) and per-walk [sim.*] counters land in that worker's collector. *)
 
 val walks_with_stats :
-  ?workers:int -> ?offset:int -> Sandtable.Spec.t -> Sandtable.Scenario.t ->
+  ?workers:int -> ?offset:int -> ?probe:Sandtable.Probe.t ->
+  ?progress_every:int -> ?progress:(int -> unit) ->
+  Sandtable.Spec.t -> Sandtable.Scenario.t ->
   Sandtable.Simulate.options -> seed:int -> count:int ->
   Sandtable.Simulate.walk list * worker_stat array
+(** [progress] is fired every [progress_every] completed walks with the
+    completed-walk count — from whichever worker domain crossed the
+    threshold, so the callback must be domain-safe (printing a line is). *)
 
 val conformance_source :
-  ?workers:int -> ?batch:int -> Sandtable.Spec.t -> Sandtable.Scenario.t ->
+  ?workers:int -> ?batch:int -> ?probe:Sandtable.Probe.t ->
+  Sandtable.Spec.t -> Sandtable.Scenario.t ->
   seed:int -> Sandtable.Simulate.options -> int -> Sandtable.Simulate.walk
 (** A [walk_source] for [Sandtable.Conformance.run]: generates walks on
     worker domains in batches of [batch] (default 64) ahead of the

@@ -66,8 +66,9 @@ let decode_prov src =
     Explorer.Step { parent; event }
   | tag -> raise (Binio.Corrupt (Printf.sprintf "unknown provenance tag %d" tag))
 
-let save ~dir ~identity (snap : Explorer.snapshot) =
+let save ?probe ~dir ~identity (snap : Explorer.snapshot) =
   mkdir_p dir;
+  Probe.span_begin probe "checkpoint";
   let t0 = Unix.gettimeofday () in
   let path = Filename.concat dir file in
   let frontier = ref 0 in
@@ -99,6 +100,9 @@ let save ~dir ~identity (snap : Explorer.snapshot) =
               iterator produced %d"
              snap.snap_distinct !written));
   let bytes = (Unix.stat path).Unix.st_size in
+  Probe.span_end probe "checkpoint";
+  Probe.count probe "checkpoint.saves" 1;
+  Probe.count probe "checkpoint.bytes" bytes;
   { ck_depth = snap.snap_depth;
     ck_distinct = snap.snap_distinct;
     ck_frontier = !frontier;
@@ -160,9 +164,9 @@ let load ~dir ~identity =
     snap_visited =
       (fun f -> Array.iter (fun (fp, prov, d) -> f fp prov d) visited) }
 
-let hook ~dir ~identity ~every ?on_save () =
+let hook ?probe ~dir ~identity ~every ?on_save () =
   fun layer snap ->
     if every > 0 && layer mod every = 0 then begin
-      let stats = save ~dir ~identity (Lazy.force snap) in
+      let stats = save ?probe ~dir ~identity (Lazy.force snap) in
       match on_save with Some f -> f stats | None -> ()
     end

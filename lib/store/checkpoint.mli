@@ -50,15 +50,20 @@ type stats = {
   ck_seconds : float;  (** wall time spent serializing + fsyncing *)
 }
 
-val save : dir:string -> identity:string -> Sandtable.Explorer.snapshot -> stats
+val save :
+  ?probe:Sandtable.Probe.t -> dir:string -> identity:string ->
+  Sandtable.Explorer.snapshot -> stats
 (** Atomically (re)writes [dir ^ "/" ^ file]. The directory is created if
-    missing. A crash mid-save leaves the previous checkpoint intact. *)
+    missing. A crash mid-save leaves the previous checkpoint intact. With
+    [probe], the write runs in a ["checkpoint"] span and bumps
+    [checkpoint.saves] / [checkpoint.bytes]. *)
 
 val load : dir:string -> identity:string -> Sandtable.Explorer.snapshot
 (** Raises {!Mismatch} on identity divergence, {!Sandtable.Binio.Corrupt}
     on a damaged file, [Sys_error] when absent. *)
 
 val hook :
+  ?probe:Sandtable.Probe.t ->
   dir:string -> identity:string -> every:int -> ?on_save:(stats -> unit) ->
   unit -> int -> Sandtable.Explorer.snapshot Lazy.t -> unit
 (** [hook ~dir ~identity ~every ()] is an [on_layer] callback that saves a

@@ -1,5 +1,13 @@
 type status = Running | Done | Failed
 
+(* Summary observability figures (v2). Plain numbers, not lib/obs types —
+   the store must not depend on obs (obs depends on the store). *)
+type metrics = {
+  mm_states_per_sec : float;
+  mm_peak_frontier : int;
+  mm_barrier_idle_pct : float;
+}
+
 type t = {
   m_version : int;
   m_system : string;
@@ -18,9 +26,10 @@ type t = {
   m_checkpoints : int;
   m_checkpoint : string option;
   m_trace : string option;
+  m_metrics : metrics option;
 }
 
-let version = 1
+let version = 2
 let file = "manifest.json"
 
 let status_string = function
@@ -63,12 +72,14 @@ let make ~system ~scenario ~identity ~engine ~workers ~flags =
     m_duration = 0.;
     m_checkpoints = 0;
     m_checkpoint = None;
-    m_trace = None }
+    m_trace = None;
+    m_metrics = None }
 
 let to_json t =
-  let opt = function Some s -> Sjson.Str s | None -> Sjson.Null in
-  Sjson.Obj
-    [ ("version", Num (float_of_int t.m_version));
+  let open Sjson in
+  let opt = function Some s -> Str s | None -> Null in
+  Obj
+    ([ ("version", Num (float_of_int t.m_version));
       ("system", Str t.m_system);
       ("scenario", Str t.m_scenario);
       ("identity", Str t.m_identity);
@@ -86,6 +97,15 @@ let to_json t =
       ("checkpoints", Num (float_of_int t.m_checkpoints));
       ("checkpoint", opt t.m_checkpoint);
       ("trace", opt t.m_trace) ]
+    @
+    match t.m_metrics with
+    | None -> []
+    | Some m ->
+      [ ( "metrics",
+          Sjson.Obj
+            [ ("states_per_sec", Num m.mm_states_per_sec);
+              ("peak_frontier", Num (float_of_int m.mm_peak_frontier));
+              ("barrier_idle_pct", Num m.mm_barrier_idle_pct) ] ) ] )
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -125,6 +145,22 @@ let of_json j =
         fields
     | _ -> []
   in
+  (* absent in v1 manifests — they load with [m_metrics = None] *)
+  let m_metrics =
+    match Sjson.member "metrics" j with
+    | Some (Sjson.Obj _ as mj) -> (
+      let num name = Option.bind (Sjson.member name mj) Sjson.to_num in
+      match
+        (num "states_per_sec", num "peak_frontier", num "barrier_idle_pct")
+      with
+      | Some sps, Some pf, Some bi ->
+        Some
+          { mm_states_per_sec = sps;
+            mm_peak_frontier = int_of_float pf;
+            mm_barrier_idle_pct = bi }
+      | _ -> None)
+    | _ -> None
+  in
   Ok
     { m_version;
       m_system;
@@ -142,7 +178,8 @@ let of_json j =
       m_duration;
       m_checkpoints;
       m_checkpoint = opt_str "checkpoint";
-      m_trace = opt_str "trace" }
+      m_trace = opt_str "trace";
+      m_metrics }
 
 let save ~dir t =
   mkdir_p dir;

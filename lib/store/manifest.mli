@@ -7,8 +7,19 @@
 
 type status = Running | Done | Failed
 
+type metrics = {
+  mm_states_per_sec : float;  (** generated states / wall seconds *)
+  mm_peak_frontier : int;  (** largest BFS layer *)
+  mm_barrier_idle_pct : float;
+      (** % of worker busy+wait time spent waiting at layer barriers
+          (0 for the sequential engine) *)
+}
+(** Observability summary recorded by instrumented runs (schema v2). Plain
+    numbers so the store stays independent of [lib/obs], which computes
+    them. *)
+
 type t = {
-  m_version : int;  (** manifest schema version, currently 1 *)
+  m_version : int;  (** manifest schema version, currently 2 *)
   m_system : string;
   m_scenario : string;
   m_identity : string;  (** identity digest ({!Checkpoint.digest_hex}) *)
@@ -25,6 +36,9 @@ type t = {
   m_checkpoints : int;  (** checkpoints written during the run *)
   m_checkpoint : string option;  (** relative path, when one exists *)
   m_trace : string option;  (** relative path of the counterexample trace *)
+  m_metrics : metrics option;
+      (** [None] for uninstrumented runs and all v1 manifests (v1 files
+          still load; the field is simply absent) *)
 }
 
 val version : int

@@ -16,6 +16,10 @@ type t =
 val to_string : t -> string
 (** Pretty-printed with two-space indentation and a trailing newline. *)
 
+val to_string_compact : t -> string
+(** Single line, no spaces, no trailing newline — one ndjson record
+    ([events.ndjsonl], trace-event entries). *)
+
 val of_string : string -> (t, string) result
 
 (** {2 Accessors} — all return [None] on shape mismatch. *)

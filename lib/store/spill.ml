@@ -35,7 +35,7 @@ let read_chunk path : 'a array =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Marshal.from_channel ic)
 
-let make ?dir ~window stats_ref =
+let make ?dir ?probe ~window stats_ref =
   let owns_dir, dir =
     match dir with
     | Some d -> mkdir_p d; (false, d)
@@ -66,7 +66,11 @@ let make ?dir ~window stats_ref =
       Filename.concat dir
         (Printf.sprintf "chunk-%d-%06d.spill" !counter !chunk_id)
     in
+    Probe.span_begin probe "spill-io";
     write_chunk path items;
+    Probe.span_end probe "spill-io";
+    Probe.count probe "spill.chunk_writes" 1;
+    Probe.count probe "spill.items_spilled" (Array.length items);
     Queue.add (path, Array.length items) chunks;
     let s = !stats_ref in
     stats_ref :=
@@ -75,7 +79,10 @@ let make ?dir ~window stats_ref =
   in
   let load_oldest_chunk () =
     let path, count = Queue.pop chunks in
+    Probe.span_begin probe "spill-io";
     let items = read_chunk path in
+    Probe.span_end probe "spill-io";
+    Probe.count probe "spill.chunk_reads" 1;
     (try Sys.remove path with Sys_error _ -> ());
     note_disk (-count);
     Array.iter (fun x -> Queue.add x head) items
@@ -110,9 +117,10 @@ let make ?dir ~window stats_ref =
   in
   { Explorer.fr_push; fr_pop; fr_length; fr_iter; fr_close }
 
-let factory_with_stats ?dir ~window () =
+let factory_with_stats ?dir ?probe ~window () =
   let stats_ref = ref { sp_chunks = 0; sp_items = 0; sp_peak_disk = 0 } in
-  ( { Explorer.make_frontier = (fun () -> make ?dir ~window stats_ref) },
+  ( { Explorer.make_frontier = (fun () -> make ?dir ?probe ~window stats_ref) },
     fun () -> !stats_ref )
 
-let factory ?dir ~window () = fst (factory_with_stats ?dir ~window ())
+let factory ?dir ?probe ~window () =
+  fst (factory_with_stats ?dir ?probe ~window ())

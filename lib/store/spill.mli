@@ -21,14 +21,17 @@ type stats = {
 }
 
 val factory :
-  ?dir:string -> window:int -> unit -> Sandtable.Explorer.frontier_factory
+  ?dir:string -> ?probe:Sandtable.Probe.t -> window:int -> unit ->
+  Sandtable.Explorer.frontier_factory
 (** [factory ~window ()] spills whenever more than [window] entries are
     resident (minimum effective window: 2). [dir] is created if missing and
     removed on close when the factory created it; default is a fresh
-    directory under the system temp dir. *)
+    directory under the system temp dir. With [probe], chunk I/O runs in
+    ["spill-io"] spans and bumps [spill.chunk_writes] / [spill.chunk_reads]
+    / [spill.items_spilled]. *)
 
 val factory_with_stats :
-  ?dir:string -> window:int -> unit ->
+  ?dir:string -> ?probe:Sandtable.Probe.t -> window:int -> unit ->
   Sandtable.Explorer.frontier_factory * (unit -> stats)
 (** Like {!factory}, plus a live stats reader (aggregated across every
     frontier the factory makes — tests use it to assert spilling actually

@@ -17,4 +17,5 @@ let () =
       Test_conformance.suite;
       Test_par.suite;
       Test_store.suite;
+      Test_obs.suite;
       Test_bugs.suite ]

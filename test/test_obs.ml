@@ -1,0 +1,308 @@
+(* lib/obs: metric merge determinism across worker counts, Chrome
+   trace-event output validity and per-tid span nesting, events.ndjsonl
+   agreement with explorer counters, stats-reader tolerance of v1 run
+   directories, manifest v2 metrics roundtrip. *)
+
+open Sandtable
+
+let case name f = Alcotest.test_case name `Quick f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "sandtable-obs" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let spec = Toy_spec.spec ()
+let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:4
+
+(* Counters whose split (not sum) is scheduling-dependent: two domains can
+   race the symmetry permutation cache and both record a miss. Everything
+   else must be exactly reproducible at any worker count. *)
+let racy = [ "symmetry.perm_cache_hits"; "symmetry.perm_cache_misses" ]
+
+let check_with_workers ?dir ?trace_out workers =
+  let obs = Obs.Run.create ~workers ?dir ?trace_out () in
+  let opts = { Explorer.default with probe = Obs.Run.probe obs } in
+  let result =
+    if workers = 1 then Explorer.check spec scenario opts
+    else (Par.Par_explorer.check ~workers spec scenario opts).base
+  in
+  let summary =
+    Obs.Run.finish obs ~outcome:"exhausted" ~distinct:result.distinct
+      ~generated:result.generated ~max_depth:result.max_depth
+      ~duration:result.duration ()
+  in
+  (result, summary)
+
+(* ---- metrics: deterministic across -j --------------------------------- *)
+
+let test_merge_determinism () =
+  let runs =
+    List.map
+      (fun j ->
+        let result, summary = check_with_workers j in
+        (j, result, summary))
+      [ 1; 2; 4 ]
+  in
+  let _, r1, s1 = List.hd runs in
+  let stable (s : Obs.Run.summary) =
+    List.filter
+      (fun (name, _) -> not (List.mem name racy))
+      s.s_metrics.Obs.Metrics.s_counters
+  in
+  List.iter
+    (fun (j, r, s) ->
+      Alcotest.(check int) (Fmt.str "j%d distinct" j) r1.Explorer.distinct
+        r.Explorer.distinct;
+      Alcotest.(check int) (Fmt.str "j%d generated" j) r1.Explorer.generated
+        r.Explorer.generated;
+      Alcotest.(check int)
+        (Fmt.str "j%d peak frontier" j)
+        s1.Obs.Run.s_peak_frontier s.Obs.Run.s_peak_frontier;
+      Alcotest.(check int) (Fmt.str "j%d layers" j) s1.Obs.Run.s_layers
+        s.Obs.Run.s_layers;
+      Alcotest.(check (list (pair string int)))
+        (Fmt.str "j%d counters" j)
+        (stable s1) (stable s))
+    (List.tl runs)
+
+let test_dup_counter_accounts_for_generated () =
+  (* on an exhaustive run every generated state is either a distinct
+     insertion or a duplicate hit, at any worker count; distinct also
+     counts the one root state, which is discovered rather than generated *)
+  let roots = 1 in
+  List.iter
+    (fun j ->
+      let result, summary = check_with_workers j in
+      let dups = Obs.Metrics.counter summary.Obs.Run.s_metrics "fp.dup" in
+      Alcotest.(check int)
+        (Fmt.str "j%d distinct + dups = generated + roots" j)
+        (result.Explorer.generated + roots)
+        (result.Explorer.distinct + dups))
+    [ 1; 3 ]
+
+(* ---- trace: valid JSON, spans nest per tid ---------------------------- *)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_trace_valid_and_nested () =
+  with_tmpdir (fun dir ->
+      let trace_out = Filename.concat dir "trace.json" in
+      let _ = check_with_workers ~trace_out 4 in
+      let json =
+        match Store.Sjson.of_string (read_whole trace_out) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "trace is not valid JSON: %s" m
+      in
+      let events =
+        match
+          Option.bind (Store.Sjson.member "traceEvents" json)
+            Store.Sjson.to_list
+        with
+        | Some l -> l
+        | None -> Alcotest.fail "trace has no traceEvents array"
+      in
+      Alcotest.(check bool) "has events" true (List.length events > 0);
+      let str j name =
+        Option.bind (Store.Sjson.member name j) Store.Sjson.to_str
+      in
+      let num j name =
+        Option.bind (Store.Sjson.member name j) Store.Sjson.to_num
+      in
+      let spans =
+        List.filter_map
+          (fun e ->
+            if str e "ph" = Some "X" then
+              match (num e "tid", num e "ts", num e "dur") with
+              | Some tid, Some ts, Some dur ->
+                Alcotest.(check bool) "ts >= 0" true (ts >= 0.);
+                Alcotest.(check bool) "dur >= 0" true (dur >= 0.);
+                Some (int_of_float tid, ts, dur)
+              | _ -> Alcotest.fail "X event missing tid/ts/dur"
+            else begin
+              (* only metadata events besides complete spans *)
+              Alcotest.(check (option string)) "meta" (Some "M") (str e "ph");
+              None
+            end)
+          events
+      in
+      let tids = List.sort_uniq compare (List.map (fun (t, _, _) -> t) spans) in
+      Alcotest.(check (list int)) "one lane per worker" [ 0; 1; 2; 3 ] tids;
+      (* within a tid, spans sorted by start either nest or are disjoint
+         (sub-10µs fuzz tolerated: endpoints come from separate
+         gettimeofday calls) *)
+      let fuzz = 10. in
+      List.iter
+        (fun tid ->
+          let mine =
+            List.sort compare
+              (List.filter_map
+                 (fun (t, ts, dur) -> if t = tid then Some (ts, dur) else None)
+                 spans)
+          in
+          ignore
+            (List.fold_left
+               (fun prev (ts, dur) ->
+                 (match prev with
+                 | Some (pts, pdur) ->
+                   let disjoint = ts >= pts +. pdur -. fuzz in
+                   let nested = ts +. dur <= pts +. pdur +. fuzz in
+                   Alcotest.(check bool)
+                     (Fmt.str "tid %d span at %f overlaps predecessor" tid ts)
+                     true (disjoint || nested)
+                 | None -> ());
+                 Some (ts, dur))
+               None mine))
+        tids)
+
+(* ---- events.ndjsonl vs explorer counters ------------------------------ *)
+
+let test_events_match_result () =
+  with_tmpdir (fun dir ->
+      let result, summary = check_with_workers ~dir 1 in
+      let records =
+        match Obs.Events.read_all (Filename.concat dir Obs.Events.file) with
+        | Ok r -> r
+        | Error m -> Alcotest.failf "events unreadable: %s" m
+      in
+      let typ r =
+        Option.bind (Store.Sjson.member "type" r) Store.Sjson.to_str
+      in
+      let int_field r name =
+        match Option.bind (Store.Sjson.member name r) Store.Sjson.to_int with
+        | Some n -> n
+        | None -> Alcotest.failf "record missing %s" name
+      in
+      let layers = List.filter (fun r -> typ r = Some "layer") records in
+      Alcotest.(check int) "layer records" summary.Obs.Run.s_layers
+        (List.length layers);
+      let last = List.nth layers (List.length layers - 1) in
+      Alcotest.(check int) "final distinct" result.Explorer.distinct
+        (int_field last "distinct");
+      Alcotest.(check int) "final generated" result.Explorer.generated
+        (int_field last "generated");
+      Alcotest.(check int) "final frontier empty" 0 (int_field last "frontier");
+      (match List.filter (fun r -> typ r = Some "done") records with
+      | [ d ] ->
+        Alcotest.(check int) "done distinct" result.Explorer.distinct
+          (int_field d "distinct");
+        Alcotest.(check int) "done max_depth" result.Explorer.max_depth
+          (int_field d "max_depth")
+      | l -> Alcotest.failf "expected one done record, found %d" (List.length l));
+      (* metrics.json landed too *)
+      Alcotest.(check bool) "metrics.json written" true
+        (Sys.file_exists (Filename.concat dir Obs.Run.metrics_file)))
+
+(* ---- stats reader on a v1 (pre-observability) run dir ----------------- *)
+
+let v1_manifest =
+  {|{
+  "version": 1,
+  "system": "toy",
+  "scenario": "toy-2n",
+  "identity": "deadbeef0123",
+  "created": "2025-01-01T00:00:00Z",
+  "engine": "seq",
+  "workers": 1,
+  "flags": {},
+  "status": "done",
+  "outcome": "exhausted",
+  "distinct": 42,
+  "generated": 99,
+  "max_depth": 7,
+  "duration_s": 0.5,
+  "checkpoints": 0,
+  "checkpoint": null,
+  "trace": null
+}|}
+
+let test_stats_on_v1_run_dir () =
+  with_tmpdir (fun dir ->
+      let oc = open_out (Filename.concat dir Store.Manifest.file) in
+      output_string oc v1_manifest;
+      close_out oc;
+      let report =
+        match Obs.Report.load dir with
+        | Ok r -> r
+        | Error m -> Alcotest.failf "stats refused v1 run dir: %s" m
+      in
+      (match report.Obs.Report.rp_manifest with
+      | Some (Ok m) ->
+        Alcotest.(check int) "v1 version kept" 1 m.Store.Manifest.m_version;
+        Alcotest.(check int) "v1 distinct" 42 m.Store.Manifest.m_distinct;
+        Alcotest.(check bool) "v1 has no metrics" true
+          (m.Store.Manifest.m_metrics = None)
+      | _ -> Alcotest.fail "v1 manifest did not load");
+      Alcotest.(check bool) "no metrics.json" true
+        (report.Obs.Report.rp_metrics = None);
+      (* rendering must not raise *)
+      let rendered = Fmt.str "%a" Obs.Report.pp report in
+      Alcotest.(check bool) "render mentions missing metrics" true
+        (String.length rendered > 0))
+
+(* ---- manifest v2 roundtrip -------------------------------------------- *)
+
+let test_manifest_v2_roundtrip () =
+  with_tmpdir (fun dir ->
+      let m =
+        { (Store.Manifest.make ~system:"toy" ~scenario:"toy-2n"
+             ~identity:"cafebabe" ~engine:"par" ~workers:4 ~flags:[])
+          with
+          Store.Manifest.m_status = Store.Manifest.Done;
+          m_metrics =
+            Some
+              { Store.Manifest.mm_states_per_sec = 12345.5;
+                mm_peak_frontier = 678;
+                mm_barrier_idle_pct = 3.25 }
+        }
+      in
+      Store.Manifest.save ~dir m;
+      match Store.Manifest.load ~dir with
+      | Error e -> Alcotest.failf "reload failed: %s" e
+      | Ok m' ->
+        Alcotest.(check int) "version 2" 2 m'.Store.Manifest.m_version;
+        (match m'.Store.Manifest.m_metrics with
+        | None -> Alcotest.fail "metrics lost on roundtrip"
+        | Some mm ->
+          Alcotest.(check (float 1e-9)) "states_per_sec" 12345.5
+            mm.Store.Manifest.mm_states_per_sec;
+          Alcotest.(check int) "peak_frontier" 678
+            mm.Store.Manifest.mm_peak_frontier;
+          Alcotest.(check (float 1e-9)) "barrier_idle_pct" 3.25
+            mm.Store.Manifest.mm_barrier_idle_pct))
+
+(* ---- probe off = same exploration ------------------------------------- *)
+
+let test_probe_off_same_result () =
+  let bare = Explorer.check spec scenario Explorer.default in
+  let observed, _ = check_with_workers 1 in
+  Alcotest.(check int) "distinct" bare.Explorer.distinct
+    observed.Explorer.distinct;
+  Alcotest.(check int) "generated" bare.Explorer.generated
+    observed.Explorer.generated;
+  Alcotest.(check int) "max_depth" bare.Explorer.max_depth
+    observed.Explorer.max_depth
+
+let suite =
+  ( "obs",
+    [ case "metric merge is deterministic across -j" test_merge_determinism;
+      case "distinct + fp.dup = generated" test_dup_counter_accounts_for_generated;
+      case "trace file is valid JSON with nested spans"
+        test_trace_valid_and_nested;
+      case "events.ndjsonl matches explorer counters" test_events_match_result;
+      case "stats tolerates v1 run dirs" test_stats_on_v1_run_dir;
+      case "manifest v2 metrics roundtrip" test_manifest_v2_roundtrip;
+      case "probe changes nothing about exploration"
+        test_probe_off_same_result ] )
