@@ -147,17 +147,50 @@ let outcome_string = function
 
 let save_trace dir (events : Trace.t) =
   Trace.save (Filename.concat dir "trace.bin") events;
-  Binio.atomic_write (Filename.concat dir "trace.txt") (fun oc ->
-      List.iter
-        (fun e ->
-          output_string oc (Trace.serialize_event e);
-          output_char oc '\n')
-        events);
+  Trace.save_text (Filename.concat dir "trace.txt") events;
   Some "trace.bin"
+
+(* --- counterexample shrinking (shared by check/simulate/conform/shrink) *)
+
+let shrink_arg =
+  let doc =
+    "Minimize the counterexample before confirming it: ddmin-style event \
+     elision where every candidate is re-validated against the \
+     specification (deliveries re-addressed against the live buffers) and \
+     must still end in the same failure."
+  in
+  Arg.(value & flag & info [ "shrink" ] ~doc)
+
+let minimized_file = "minimized.trace"
+
+let save_minimized dir (sh : Shrink.outcome) =
+  Trace.save (Filename.concat dir minimized_file) sh.minimized;
+  Trace.save_text (Filename.concat dir "minimized.txt") sh.minimized;
+  Some minimized_file
+
+let manifest_shrink rel (sh : Shrink.outcome) =
+  { Store.Manifest.ms_original = sh.original_len;
+    ms_minimized = sh.minimized_len;
+    ms_trace = rel }
+
+let print_shrink (sh : Shrink.outcome) =
+  Fmt.pr "%a@.%a" Shrink.pp_outcome sh Trace.pp sh.minimized
+
+(* Shrink a violation/deadlock found by check, tolerating (with a note on
+   stderr) the input not reproducing — shrinking is best-effort sugar on
+   top of a result that already stands on its own. *)
+let try_shrink ~workers ?probe spec scenario oracle events =
+  match Par.Par_shrink.minimize ~workers ?probe spec scenario oracle events with
+  | sh ->
+    print_shrink sh;
+    Some sh
+  | exception Invalid_argument m ->
+    Fmt.epr "shrink skipped: %s@." m;
+    None
 
 let check_cmd =
   let run name bugs time nodes workers run_dir every resume spill_window
-      progress_every trace_out =
+      progress_every trace_out do_shrink =
     with_system name bugs (fun sys flags ->
         let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
@@ -262,6 +295,7 @@ let check_cmd =
                     ~workers
                     ~flags:
                       [ ("bugs", bug_flags);
+                        ("nodes", string_of_int scenario.nodes);
                         ("spill_window", string_of_int spill_window);
                         ("checkpoint_every", string_of_int every) ]
                 in
@@ -291,10 +325,28 @@ let check_cmd =
             end
           in
           Fmt.pr "%a@." Explorer.pp_result result;
+          (* shrink before Obs.Run.finish so its counters and spans land
+             in metrics.json / the Chrome trace *)
+          let shrink_outcome =
+            if not do_shrink then None
+            else
+              match result.outcome with
+              | Explorer.Violation v ->
+                try_shrink ~workers ?probe spec scenario
+                  (Shrink.Invariant v.invariant) v.events
+              | Explorer.Deadlock t ->
+                try_shrink ~workers ?probe spec scenario Shrink.Deadlock t
+              | _ -> None
+          in
           let trace_rel =
             match (run_dir, result.outcome) with
             | Some dir, Explorer.Violation v -> save_trace dir v.events
             | Some dir, Explorer.Deadlock t -> save_trace dir t
+            | _ -> None
+          in
+          let shrink_rel =
+            match (run_dir, shrink_outcome) with
+            | Some dir, Some sh -> save_minimized dir sh
             | _ -> None
           in
           let obs_summary =
@@ -341,18 +393,25 @@ let check_cmd =
                      else None);
                   m_trace = trace_rel;
                   m_metrics =
-                    Option.map Obs.Run.manifest_metrics obs_summary }
+                    Option.map Obs.Run.manifest_metrics obs_summary;
+                  m_shrink =
+                    Option.map (manifest_shrink shrink_rel) shrink_outcome }
               in
               Store.Manifest.save ~dir m;
               Fmt.epr "run recorded in %s@." (Filename.concat dir Store.Manifest.file))
             run_dir;
           (match result.outcome with
           | Explorer.Violation v ->
+            let events =
+              match shrink_outcome with
+              | Some sh -> sh.Shrink.minimized
+              | None -> v.events
+            in
             Fmt.pr "@.confirming at the implementation level...@.";
             let confirmation =
               Replay.confirm ~mask:Systems.Common.conformance_mask spec
                 ~boot:(fun sc -> sys.sut flags None sc)
-                scenario v.events
+                scenario events
             in
             Fmt.pr "%a@." Replay.pp_confirmation confirmation
           | _ -> ());
@@ -363,7 +422,7 @@ let check_cmd =
     Term.(
       const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg
       $ workers_arg $ run_dir_arg $ checkpoint_every_arg $ resume_arg
-      $ spill_window_arg $ progress_every_arg $ trace_out_arg)
+      $ spill_window_arg $ progress_every_arg $ trace_out_arg $ shrink_arg)
 
 (* --- runs: list recorded runs ----------------------------------------- *)
 
@@ -404,7 +463,8 @@ let walks_arg =
   Arg.(value & opt int 100 & info [ "walks" ] ~docv:"N" ~doc:"Walk count.")
 
 let simulate_cmd =
-  let run name bugs walks seed nodes workers progress_every trace_out =
+  let run name bugs walks seed nodes workers progress_every trace_out
+      do_shrink =
     with_system name bugs (fun sys flags ->
         let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
@@ -433,6 +493,20 @@ let simulate_cmd =
           Fmt.epr "%a" Par.Par_simulate.pp_worker_stats stats
         end;
         let agg = Simulate.aggregate ws in
+        Fmt.pr "%a@." Simulate.pp_aggregate agg;
+        (* shrink the first violating walk (walk order is (seed, index)
+           deterministic, so -j never changes which one is picked) *)
+        (if do_shrink then
+           match
+             List.find_opt (fun (w : Simulate.walk) -> w.violation <> None) ws
+           with
+           | None -> Fmt.epr "shrink: no violating walk to minimize@."
+           | Some w ->
+             let inv, idx = Option.get w.violation in
+             let original = List.filteri (fun i _ -> i < idx) w.events in
+             ignore
+               (try_shrink ~workers ?probe (sys.spec flags) scenario
+                  (Shrink.Invariant inv) original));
         ignore
           (Option.map
              (fun o ->
@@ -442,14 +516,13 @@ let simulate_cmd =
                  ~generated:agg.total_events
                  ~duration:(Unix.gettimeofday () -. started) ())
              obs);
-        Fmt.pr "%a@." Simulate.pp_aggregate agg;
         Store.Exit_code.of_simulation agg)
   in
   let doc = "Random-walk the specification (TLC simulation mode)." in
   Cmd.v (Cmd.info "simulate" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ walks_arg $ seed_arg $ nodes_arg
-      $ workers_arg $ progress_every_arg $ trace_out_arg)
+      $ workers_arg $ progress_every_arg $ trace_out_arg $ shrink_arg)
 
 (* --- conform: conformance checking ------------------------------------ *)
 
@@ -457,7 +530,8 @@ let rounds_arg =
   Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc:"Walk rounds.")
 
 let conform_cmd =
-  let run name bugs rounds seed nodes workers progress_every trace_out =
+  let run name bugs rounds seed nodes workers progress_every trace_out
+      do_shrink =
     with_system name bugs (fun sys flags ->
         let workers = resolve_workers workers in
         let scenario = scenario_of sys nodes in
@@ -492,6 +566,35 @@ let conform_cmd =
         in
         if workers > 1 then
           Fmt.epr "walk generation: %d workers (replay sequential)@." workers;
+        Fmt.pr "%a@." Conformance.pp_report report;
+        (* shrink the discrepancy: a candidate is accepted iff the
+           implementation still diverges from the spec somewhere along it
+           (truncated to that point). Candidates replay the real
+           implementation, so evaluation stays sequential regardless of
+           -j. *)
+        (match report.discrepancy with
+        | Some d when do_shrink ->
+          let truncate_at t i = List.filteri (fun j _ -> j <= i) t in
+          let original = truncate_at d.Conformance.events d.failed_at in
+          let boot sc = sys.sut flags None sc in
+          let oracle =
+            Shrink.Custom
+              (fun cand ->
+                match Shrink.readdress spec scenario cand with
+                | None -> None
+                | Some t -> (
+                  match
+                    Replay.confirm ~mask:Systems.Common.conformance_mask
+                      spec ~boot scenario t
+                  with
+                  | Replay.False_alarm d' ->
+                    Some (truncate_at t d'.Conformance.failed_at)
+                  | Replay.Confirmed _ -> None))
+          in
+          (match Shrink.run ?probe spec scenario oracle original with
+          | sh -> print_shrink sh
+          | exception Invalid_argument m -> Fmt.epr "shrink skipped: %s@." m)
+        | _ -> ());
         ignore
           (Option.map
              (fun o ->
@@ -502,7 +605,6 @@ let conform_cmd =
                    | None -> "conformant")
                  ~generated:report.total_events ~duration:report.duration ())
              obs);
-        Fmt.pr "%a@." Conformance.pp_report report;
         Store.Exit_code.of_conformance report)
   in
   let doc =
@@ -512,7 +614,127 @@ let conform_cmd =
   Cmd.v (Cmd.info "conform" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ rounds_arg $ seed_arg $ nodes_arg
-      $ workers_arg $ progress_every_arg $ trace_out_arg)
+      $ workers_arg $ progress_every_arg $ trace_out_arg $ shrink_arg)
+
+(* --- shrink: minimize a recorded counterexample ----------------------- *)
+
+let shrink_cmd =
+  let dir_arg =
+    let doc =
+      "Run directory holding a recorded counterexample (written by check \
+       --run-dir when it finds a violation or deadlock)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_DIR" ~doc)
+  in
+  (* usage-error short-circuiting: Error carries the exit code *)
+  let ( let* ) r f = match r with Error code -> code | Ok v -> f v in
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "%s@." m; Error Store.Exit_code.usage) fmt in
+  let run dir workers trace_out =
+    let workers = resolve_workers workers in
+    let* m =
+      Result.map_error
+        (fun e -> Fmt.epr "%s@." e; Store.Exit_code.usage)
+        (Store.Manifest.load ~dir)
+    in
+    let* sys =
+      match resolve m.Store.Manifest.m_system with
+      | Ok sys -> Ok sys
+      | Error (`Msg e) -> fail "%s" e
+    in
+    let* flags =
+      let bugs =
+        match List.assoc_opt "bugs" m.m_flags with
+        | None | Some "" -> []
+        | Some s -> String.split_on_char ',' s
+      in
+      match R.flags_of sys bugs with
+      | flags -> Ok flags
+      | exception Invalid_argument e -> fail "%s" e
+    in
+    let scenario =
+      (* node count travels in the manifest flags (v3 runs); older run
+         dirs fall back to the system's default scenario *)
+      match
+        Option.bind (List.assoc_opt "nodes" m.m_flags) int_of_string_opt
+      with
+      | Some n -> { sys.R.default_scenario with nodes = n }
+      | None -> sys.default_scenario
+    in
+    if not (String.equal scenario.name m.m_scenario) then
+      Fmt.epr "note: shrinking under scenario %s (run recorded %s)@."
+        scenario.name m.m_scenario;
+    let* oracle =
+      let violation_prefix = "violation: " in
+      match m.m_outcome with
+      | Some o when String.starts_with ~prefix:violation_prefix o ->
+        Ok
+          (Shrink.Invariant
+             (String.sub o (String.length violation_prefix)
+                (String.length o - String.length violation_prefix)))
+      | Some "deadlock" -> Ok Shrink.Deadlock
+      | o ->
+        fail "run outcome is %S — nothing to shrink"
+          (Option.value ~default:"unknown" o)
+    in
+    let* events =
+      match m.m_trace with
+      | None -> fail "run has no recorded counterexample trace"
+      | Some rel -> (
+        match Trace.load (Filename.concat dir rel) with
+        | Ok events -> Ok events
+        | Error e -> fail "%s" e)
+    in
+    let spec = sys.R.spec flags in
+    (* no Obs.Run over the existing run dir: that would truncate its
+       events.ndjsonl and overwrite metrics.json; --trace-out still works *)
+    let obs = obs_run ~workers ?trace_out () in
+    let probe = obs_probe obs in
+    Fmt.epr "shrinking the %d-event %s counterexample in %s@."
+      (List.length events) sys.R.name dir;
+    let* sh =
+      match
+        Par.Par_shrink.minimize ~workers ?probe spec scenario oracle events
+      with
+      | sh -> Ok sh
+      | exception Invalid_argument e -> fail "%s" e
+    in
+    print_shrink sh;
+    let rel = save_minimized dir sh in
+    Store.Manifest.save ~dir
+      { m with Store.Manifest.m_shrink = Some (manifest_shrink rel sh) };
+    Fmt.epr "minimized trace written to %s@."
+      (Filename.concat dir minimized_file);
+    ignore
+      (Option.map
+         (fun o ->
+           Obs.Run.finish o ~outcome:"shrunk" ~generated:sh.Shrink.tried
+             ~duration:sh.Shrink.duration ())
+         obs);
+    match oracle with
+    | Shrink.Invariant _ ->
+      (* the paper's §3.4 loop, on the minimized trace: confirmed means
+         exit 0, an impl divergence on the shorter trace means exit 1 *)
+      Fmt.pr "@.confirming at the implementation level...@.";
+      let confirmation =
+        Replay.confirm ~mask:Systems.Common.conformance_mask spec
+          ~boot:(fun sc -> sys.R.sut flags None sc)
+          scenario sh.Shrink.minimized
+      in
+      Fmt.pr "%a@." Replay.pp_confirmation confirmation;
+      (match confirmation with
+      | Replay.Confirmed _ -> Store.Exit_code.ok
+      | Replay.False_alarm _ -> Store.Exit_code.found)
+    | _ -> Store.Exit_code.ok
+  in
+  let doc =
+    "Minimize the counterexample recorded in a run directory: ddmin-style \
+     elision, every candidate re-validated against the specification, \
+     then re-confirmed at the implementation level. Writes \
+     minimized.trace / minimized.txt and records the original and \
+     minimized lengths in the manifest."
+  in
+  Cmd.v (Cmd.info "shrink" ~doc ~exits)
+    Term.(const run $ dir_arg $ workers_arg $ trace_out_arg)
 
 (* --- stats: summarize a run directory --------------------------------- *)
 
@@ -617,5 +839,5 @@ let () =
   exit
     (Cmd.eval' ~term_err:Store.Exit_code.usage
        (Cmd.group info
-          [ check_cmd; runs_cmd; stats_cmd; simulate_cmd; conform_cmd;
-            rank_cmd; bugs_cmd; systems_cmd ]))
+          [ check_cmd; runs_cmd; stats_cmd; shrink_cmd; simulate_cmd;
+            conform_cmd; rank_cmd; bugs_cmd; systems_cmd ]))

@@ -176,8 +176,15 @@ let read_file path ~kind =
   let file_kind = Char.code raw.[5] in
   if file_kind <> kind then
     corrupt "%s: wrong section kind %d (expected %d)" path file_kind kind;
-  let payload_len = Int64.to_int (read_u64le raw 6) in
-  if payload_len < 0 || len < header_len + payload_len + 8 then
+  (* compare in the int64 domain: Int64.to_int silently drops bit 63, so a
+     corrupted length like 2^63 + n would otherwise alias to n *)
+  let payload_len64 = read_u64le raw 6 in
+  let payload_len = Int64.to_int payload_len64 in
+  if
+    Int64.compare payload_len64 0L < 0
+    || not (Int64.equal payload_len64 (Int64.of_int payload_len))
+    || len < header_len + payload_len + 8
+  then
     corrupt
       "%s: truncated: header promises %d payload bytes but only %d bytes \
        follow (interrupted write?)"

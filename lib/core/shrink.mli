@@ -1,0 +1,104 @@
+(** Counterexample shrinking: replay-validated trace minimization.
+
+    The engines hand back *a* failing event sequence — BFS traces are
+    depth-minimal but still interleave irrelevant deliveries, timeouts and
+    client ops with the events that matter, and simulation / conformance
+    walks can be hundreds of events long. Shrinking turns any of them into
+    a minimal repro: ddmin-style chunk removal down to single-event
+    elision, where {e every} candidate is validated by re-running it
+    through the specification and accepted only if the same failure still
+    occurs.
+
+    {b Re-addressing.} Removing an event changes the network state every
+    later event sees: eliding one [Deliver] on a link shifts the buffer
+    [index] of every message behind it. A candidate is therefore not
+    matched against the spec's enabled transitions verbatim — each
+    [Deliver] is re-addressed against the live buffer: first an exact
+    [(src, dst, index)] + descriptor match (the unperturbed case), then
+    the same message looked up by descriptor at whatever index it now
+    occupies, then a purely positional match. [Drop]/[Duplicate] (no
+    descriptor) fall back from exact to same-link positional.
+    Accepted candidates are rewritten in terms of the transitions actually
+    taken, so the output trace always replays verbatim.
+
+    {b Validation contract.} A candidate is accepted iff it replays from
+    the first initial state and ends in the same class of failure as the
+    input: for {!Invariant} the named invariant is checked after every
+    step and the candidate is truncated at the {e earliest} violating
+    state (suffix truncation comes for free); for {!Deadlock} the final
+    state must satisfy the scenario constraint and have no enabled
+    transitions. State constraints are deliberately {e not} enforced along
+    the way for [Invariant] — the explorer reports violations on states it
+    discovers even when they fall outside the constraint envelope, and
+    shrinking must be able to reproduce exactly those.
+
+    {b Determinism.} Candidate generation is purely positional and each
+    round keeps the first accepted candidate in generation order, with the
+    whole round evaluated before selecting — so the minimized trace (and
+    the tried/accepted counters) are identical whatever {!evaluator} runs
+    the round, including [lib/par]'s domain-pool evaluator at any worker
+    count. *)
+
+type oracle =
+  | Invariant of string
+      (** the named spec invariant must be violated by the final state
+          (and by no earlier state — candidates are truncated to the
+          earliest violation) *)
+  | Deadlock
+      (** the final state must satisfy the scenario constraint and have
+          no enabled transitions *)
+  | Custom of (Trace.t -> Trace.t option)
+      (** arbitrary acceptance check; returns the (possibly rewritten or
+          truncated) trace to keep, or [None] to reject. Used by the CLI
+          to shrink conformance discrepancies, where acceptance means the
+          implementation still diverges from the spec. *)
+
+type evaluator = (Trace.t -> Trace.t option) -> Trace.t list -> Trace.t option list
+(** [eval check candidates] maps [check] over one round of candidates,
+    positionally. Implementations must evaluate the complete batch — no
+    early exit — so counters and results cannot depend on scheduling;
+    [lib/par]'s [Par_shrink.eval] distributes the batch over a domain
+    pool. *)
+
+val sequential_eval : evaluator
+
+val readdress : Spec.t -> Scenario.t -> Trace.t -> Trace.t option
+(** Replay a trace from the first initial state, re-addressing each event
+    against the live network state as described above. [Some t] is the
+    trace rewritten in terms of the transitions actually taken (always
+    spec-replayable verbatim); [None] if some event has no counterpart. *)
+
+val validate : Spec.t -> Scenario.t -> oracle -> Trace.t -> Trace.t option
+(** One candidate check: re-address, replay, and test the oracle.
+    [Some t] is the accepted (re-addressed, possibly truncated) trace.
+    Raises [Invalid_argument] if an {!Invariant} oracle names an invariant
+    the spec does not declare. *)
+
+type outcome = {
+  minimized : Trace.t;
+  original_len : int;
+  minimized_len : int;  (** [<= original_len] *)
+  tried : int;  (** candidates evaluated *)
+  accepted : int;  (** rounds that found a smaller failing trace *)
+  rounds : int;  (** candidate batches evaluated *)
+  duration : float;  (** wall seconds *)
+}
+
+val run :
+  ?probe:Probe.t -> ?eval:evaluator -> Spec.t -> Scenario.t -> oracle ->
+  Trace.t -> outcome
+(** Minimize a failing trace: validate the input (for [Invariant] this
+    already truncates it at the earliest violation), then ddmin — per
+    round, drop one of [n] contiguous chunks, accept the first candidate
+    that still fails, refine the granularity on success and double it on
+    failure until single-event elision is exhausted. The result still
+    fails the oracle and replays verbatim on the spec.
+
+    Raises [Invalid_argument] if the input trace itself does not
+    reproduce the failure.
+
+    With [probe], runs inside a ["shrink"] span and bumps the
+    [shrink.candidates] / [shrink.accepted] / [shrink.rounds] counters. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One-line summary: lengths, reduction %, candidates, wall time. *)

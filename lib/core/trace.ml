@@ -166,6 +166,14 @@ let save path trace =
       Binio.uint sink (List.length trace);
       List.iter (encode_event sink) trace)
 
+let save_text path trace =
+  Binio.atomic_write path (fun oc ->
+      List.iter
+        (fun e ->
+          output_string oc (serialize_event e);
+          output_char oc '\n')
+        trace)
+
 (* Pre-Binio trace files were textual, one serialize_event line per event;
    still loadable, but without truncation detection. *)
 let load_legacy path =

@@ -64,6 +64,10 @@ val save : string -> t -> unit
 (** Atomic: the file either keeps its previous contents or holds the
     complete new trace, never a partial write. *)
 
+val save_text : string -> t -> unit
+(** Companion human-readable file (one [serialize_event] line per event),
+    written atomically; loadable via the legacy path of {!load}. *)
+
 val load : string -> (t, string) result
 (** Loads a {!save}d trace, or a legacy textual trace file (one
     [serialize_event] line per event). [Error] carries a description of the

@@ -3,7 +3,8 @@ open Sandtable
 let metrics_file = "metrics.json"
 
 let default_trace_phases =
-  [ "expand"; "barrier-wait"; "walks"; "replay"; "checkpoint"; "spill-io" ]
+  [ "expand"; "barrier-wait"; "walks"; "replay"; "checkpoint"; "spill-io";
+    "shrink"; "shrink-eval" ]
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin

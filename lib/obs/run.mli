@@ -22,7 +22,7 @@ val metrics_file : string
 
 val default_trace_phases : string list
 (** [expand], [barrier-wait], [walks], [replay], [checkpoint],
-    [spill-io]. *)
+    [spill-io], [shrink], [shrink-eval]. *)
 
 val create :
   ?workers:int -> ?trace_out:string -> ?dir:string ->

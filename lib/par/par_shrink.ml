@@ -1,0 +1,30 @@
+open Sandtable
+
+let eval ?probe pool : Shrink.evaluator =
+ fun check candidates ->
+  let items = Array.of_list candidates in
+  let n = Array.length items in
+  if n = 0 || Pool.size pool = 1 then List.map check candidates
+  else begin
+    let results = Array.make n None in
+    let ranges = Array.of_list (Pool.split ~chunks:(Pool.size pool) ~len:n) in
+    Pool.run pool (fun w ->
+        if w < Array.length ranges then begin
+          let lo, hi = ranges.(w) in
+          if lo < hi then begin
+            let wp = Probe.worker probe w in
+            Probe.span_begin wp "shrink-eval";
+            Fun.protect
+              ~finally:(fun () -> Probe.span_end wp "shrink-eval")
+              (fun () ->
+                for i = lo to hi - 1 do
+                  results.(i) <- check items.(i)
+                done)
+          end
+        end);
+    Array.to_list results
+  end
+
+let minimize ~workers ?probe spec scenario oracle trace =
+  Pool.with_pool (max 1 workers) (fun pool ->
+      Shrink.run ?probe ~eval:(eval ?probe pool) spec scenario oracle trace)

@@ -1,0 +1,23 @@
+(** Parallel candidate evaluation for {!Sandtable.Shrink}.
+
+    Shrinking is a sequence of synchronized rounds; within a round every
+    candidate is an independent pure replay of the specification, so the
+    batch fans out over a {!Pool} of domains. Each worker fills a disjoint
+    slice of the result array and the pool's barrier publishes the writes,
+    after which {!Sandtable.Shrink.run} picks the first accepted candidate
+    {e positionally} — the minimized trace and all counters are therefore
+    byte-identical at every worker count. *)
+
+val eval : ?probe:Sandtable.Probe.t -> Pool.t -> Sandtable.Shrink.evaluator
+(** An evaluator backed by [pool]: contiguous candidate ranges per worker
+    ({!Pool.split}), complete-batch evaluation (no early exit). With
+    [probe], each worker wraps its slice in a ["shrink-eval"] span on its
+    own lane. *)
+
+val minimize :
+  workers:int -> ?probe:Sandtable.Probe.t -> Sandtable.Spec.t ->
+  Sandtable.Scenario.t -> Sandtable.Shrink.oracle -> Sandtable.Trace.t ->
+  Sandtable.Shrink.outcome
+(** [Shrink.run] with a fresh pool of [workers] domains for the lifetime
+    of the call ([workers <= 1] spawns nothing). Raises like
+    {!Sandtable.Shrink.run}. *)

@@ -8,6 +8,13 @@ type metrics = {
   mm_barrier_idle_pct : float;
 }
 
+(* Counterexample-shrinking summary (v3). *)
+type shrink = {
+  ms_original : int;
+  ms_minimized : int;
+  ms_trace : string option;
+}
+
 type t = {
   m_version : int;
   m_system : string;
@@ -27,9 +34,10 @@ type t = {
   m_checkpoint : string option;
   m_trace : string option;
   m_metrics : metrics option;
+  m_shrink : shrink option;
 }
 
-let version = 2
+let version = 3
 let file = "manifest.json"
 
 let status_string = function
@@ -73,7 +81,8 @@ let make ~system ~scenario ~identity ~engine ~workers ~flags =
     m_checkpoints = 0;
     m_checkpoint = None;
     m_trace = None;
-    m_metrics = None }
+    m_metrics = None;
+    m_shrink = None }
 
 let to_json t =
   let open Sjson in
@@ -97,15 +106,26 @@ let to_json t =
       ("checkpoints", Num (float_of_int t.m_checkpoints));
       ("checkpoint", opt t.m_checkpoint);
       ("trace", opt t.m_trace) ]
+    @ (match t.m_metrics with
+      | None -> []
+      | Some m ->
+        [ ( "metrics",
+            Sjson.Obj
+              [ ("states_per_sec", Num m.mm_states_per_sec);
+                ("peak_frontier", Num (float_of_int m.mm_peak_frontier));
+                ("barrier_idle_pct", Num m.mm_barrier_idle_pct) ] ) ])
     @
-    match t.m_metrics with
+    match t.m_shrink with
     | None -> []
-    | Some m ->
-      [ ( "metrics",
+    | Some s ->
+      [ ( "shrink",
           Sjson.Obj
-            [ ("states_per_sec", Num m.mm_states_per_sec);
-              ("peak_frontier", Num (float_of_int m.mm_peak_frontier));
-              ("barrier_idle_pct", Num m.mm_barrier_idle_pct) ] ) ] )
+            ([ ("original_events", Num (float_of_int s.ms_original));
+               ("minimized_events", Num (float_of_int s.ms_minimized)) ]
+            @
+            match s.ms_trace with
+            | None -> []
+            | Some t -> [ ("trace", Str t) ]) ) ] )
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -161,6 +181,26 @@ let of_json j =
       | _ -> None)
     | _ -> None
   in
+  (* absent before v3 — older manifests load with [m_shrink = None] *)
+  let m_shrink =
+    match Sjson.member "shrink" j with
+    | Some (Sjson.Obj _ as sj) -> (
+      let num name =
+        Option.bind (Option.bind (Sjson.member name sj) Sjson.to_num)
+          (fun f -> Some (int_of_float f))
+      in
+      match (num "original_events", num "minimized_events") with
+      | Some o, Some m ->
+        Some
+          { ms_original = o;
+            ms_minimized = m;
+            ms_trace =
+              (match Sjson.member "trace" sj with
+              | Some (Sjson.Str s) -> Some s
+              | _ -> None) }
+      | _ -> None)
+    | _ -> None
+  in
   Ok
     { m_version;
       m_system;
@@ -179,7 +219,8 @@ let of_json j =
       m_checkpoints;
       m_checkpoint = opt_str "checkpoint";
       m_trace = opt_str "trace";
-      m_metrics }
+      m_metrics;
+      m_shrink }
 
 let save ~dir t =
   mkdir_p dir;
@@ -220,10 +261,14 @@ let list_runs root =
            else None)
 
 let pp ppf t =
-  Fmt.pf ppf "%-8s %s/%s %s j%d depth %d, %d distinct, %.2fs%a"
+  Fmt.pf ppf "%-8s %s/%s %s j%d depth %d, %d distinct, %.2fs%a%a"
     (status_string t.m_status) t.m_system t.m_scenario t.m_engine t.m_workers
     t.m_max_depth t.m_distinct t.m_duration
     (fun ppf -> function
       | Some o -> Fmt.pf ppf " — %s" o
       | None -> ())
     t.m_outcome
+    (fun ppf -> function
+      | Some s -> Fmt.pf ppf " (shrunk %d→%d)" s.ms_original s.ms_minimized
+      | None -> ())
+    t.m_shrink

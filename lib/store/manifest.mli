@@ -18,8 +18,17 @@ type metrics = {
     numbers so the store stays independent of [lib/obs], which computes
     them. *)
 
+type shrink = {
+  ms_original : int;  (** event count of the recorded counterexample *)
+  ms_minimized : int;  (** event count after shrinking *)
+  ms_trace : string option;
+      (** relative path of the minimized trace, when written *)
+}
+(** Counterexample-shrinking summary (schema v3; absent in older
+    manifests, which load with the field [None]). *)
+
 type t = {
-  m_version : int;  (** manifest schema version, currently 2 *)
+  m_version : int;  (** manifest schema version, currently 3 *)
   m_system : string;
   m_scenario : string;
   m_identity : string;  (** identity digest ({!Checkpoint.digest_hex}) *)
@@ -39,6 +48,7 @@ type t = {
   m_metrics : metrics option;
       (** [None] for uninstrumented runs and all v1 manifests (v1 files
           still load; the field is simply absent) *)
+  m_shrink : shrink option;  (** [None] until a counterexample is shrunk *)
 }
 
 val version : int

@@ -18,4 +18,7 @@ let () =
       Test_par.suite;
       Test_store.suite;
       Test_obs.suite;
+      Test_shrink.suite;
+      Test_registry.suite;
+      Test_cli.suite;
       Test_bugs.suite ]

@@ -252,9 +252,9 @@ let test_stats_on_v1_run_dir () =
       Alcotest.(check bool) "render mentions missing metrics" true
         (String.length rendered > 0))
 
-(* ---- manifest v2 roundtrip -------------------------------------------- *)
+(* ---- manifest v3 roundtrip -------------------------------------------- *)
 
-let test_manifest_v2_roundtrip () =
+let test_manifest_v3_roundtrip () =
   with_tmpdir (fun dir ->
       let m =
         { (Store.Manifest.make ~system:"toy" ~scenario:"toy-2n"
@@ -265,14 +265,19 @@ let test_manifest_v2_roundtrip () =
             Some
               { Store.Manifest.mm_states_per_sec = 12345.5;
                 mm_peak_frontier = 678;
-                mm_barrier_idle_pct = 3.25 }
+                mm_barrier_idle_pct = 3.25 };
+          m_shrink =
+            Some
+              { Store.Manifest.ms_original = 54;
+                ms_minimized = 12;
+                ms_trace = Some "minimized.trace" }
         }
       in
       Store.Manifest.save ~dir m;
       match Store.Manifest.load ~dir with
       | Error e -> Alcotest.failf "reload failed: %s" e
       | Ok m' ->
-        Alcotest.(check int) "version 2" 2 m'.Store.Manifest.m_version;
+        Alcotest.(check int) "version 3" 3 m'.Store.Manifest.m_version;
         (match m'.Store.Manifest.m_metrics with
         | None -> Alcotest.fail "metrics lost on roundtrip"
         | Some mm ->
@@ -281,7 +286,16 @@ let test_manifest_v2_roundtrip () =
           Alcotest.(check int) "peak_frontier" 678
             mm.Store.Manifest.mm_peak_frontier;
           Alcotest.(check (float 1e-9)) "barrier_idle_pct" 3.25
-            mm.Store.Manifest.mm_barrier_idle_pct))
+            mm.Store.Manifest.mm_barrier_idle_pct);
+        match m'.Store.Manifest.m_shrink with
+        | None -> Alcotest.fail "shrink summary lost on roundtrip"
+        | Some s ->
+          Alcotest.(check int) "shrink original" 54
+            s.Store.Manifest.ms_original;
+          Alcotest.(check int) "shrink minimized" 12
+            s.Store.Manifest.ms_minimized;
+          Alcotest.(check (option string)) "shrink trace"
+            (Some "minimized.trace") s.Store.Manifest.ms_trace)
 
 (* ---- probe off = same exploration ------------------------------------- *)
 
@@ -303,6 +317,6 @@ let suite =
         test_trace_valid_and_nested;
       case "events.ndjsonl matches explorer counters" test_events_match_result;
       case "stats tolerates v1 run dirs" test_stats_on_v1_run_dir;
-      case "manifest v2 metrics roundtrip" test_manifest_v2_roundtrip;
+      case "manifest v3 metrics+shrink roundtrip" test_manifest_v3_roundtrip;
       case "probe changes nothing about exploration"
         test_probe_off_same_result ] )

@@ -1,0 +1,295 @@
+(* Registry completeness: every one of the 23 bug flags is wired to an
+   observable behaviour change. Spec-level flags must make the buggy and
+   fixed specifications diverge within a shallow bounded BFS under the
+   bug's own detection scenario; implementation-only flags must leave the
+   spec bit-for-bit unchanged there (their divergence lives in the SUT and
+   is exercised by the conformance suite). Also checks that the flag
+   namespace is closed: all_flags and the bugs' flag lists cover each
+   other, and every Verification bug names a real invariant. *)
+
+open Sandtable
+module R = Systems.Registry
+module Bug = Systems.Bug
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Flags whose buggy behaviour exists only in the implementation shim;
+   the spec they run against is the fixed one. Caught by
+   test_conformance.ml (mismatch_detected / scripted_mismatch). *)
+let impl_only = [ "pso1"; "wraft3"; "wraft6"; "wraft8"; "raftos3"; "xraft2" ]
+
+(* A behavioural fingerprint of a spec: the deduplicated set of observed
+   transition edges [src-observation --event--> dst-observation] reachable
+   by BFS within [depth] levels and [cap] expanded states. Deterministic,
+   so two runs over the same transition system yield the same set even
+   when the cap truncates exploration. *)
+let fingerprint (spec : Spec.t) scenario ~depth ~cap =
+  let (module S : Spec.S) = spec in
+  let obs st =
+    let invs =
+      List.map (fun (_, f) -> if f scenario st then 't' else 'f') S.invariants
+    in
+    Digest.to_hex
+      (Digest.string
+         (Tla.Value.to_string (S.observe st)
+         ^ String.init (List.length invs) (List.nth invs)))
+  in
+  let seen = Hashtbl.create 512 in
+  let edges = Hashtbl.create 512 in
+  let frontier = ref [] in
+  List.iter
+    (fun st ->
+      let o = obs st in
+      if not (Hashtbl.mem seen o) then begin
+        Hashtbl.replace seen o ();
+        frontier := st :: !frontier
+      end)
+    (S.init scenario);
+  let expanded = ref 0 in
+  let d = ref 0 in
+  while !d < depth && !frontier <> [] && !expanded < cap do
+    let next_frontier = ref [] in
+    List.iter
+      (fun st ->
+        if !expanded < cap && S.constraint_ok scenario st then begin
+          incr expanded;
+          let src = obs st in
+          List.iter
+            (fun (ev, st') ->
+              let dst = obs st' in
+              Hashtbl.replace edges
+                (src ^ "|" ^ Trace.serialize_event ev ^ "|" ^ dst)
+                ();
+              if not (Hashtbl.mem seen dst) then begin
+                Hashtbl.replace seen dst ();
+                next_frontier := st' :: !next_frontier
+              end)
+            (S.next scenario st)
+        end)
+      (List.rev !frontier);
+    frontier := List.rev !next_frontier;
+    incr d
+  done;
+  Hashtbl.fold (fun k () acc -> k :: acc) edges []
+  |> List.sort String.compare
+
+(* Replay [events] on [spec], returning a digest of observation +
+   invariant verdicts after every step — [None] if the trace does not
+   replay. Unlike [Spec.observations_along] this sees invariant flips on
+   auxiliary state that the observation projection masks. *)
+let replay_digests (spec : Spec.t) scenario events =
+  let (module S : Spec.S) = spec in
+  let fp st =
+    let invs =
+      List.map (fun (_, f) -> if f scenario st then 't' else 'f') S.invariants
+    in
+    Digest.string
+      (Tla.Value.to_string (S.observe st)
+      ^ String.init (List.length invs) (List.nth invs))
+  in
+  let step st ev =
+    List.find_opt
+      (fun (e, _) ->
+        String.equal (Trace.serialize_event e) (Trace.serialize_event ev))
+      (S.next scenario st)
+  in
+  let rec go st acc = function
+    | [] -> Some (List.rev acc)
+    | ev :: rest -> (
+      match step st ev with
+      | Some (_, st') -> go st' (fp st' :: acc) rest
+      | None -> None)
+  in
+  List.find_map (fun s0 -> go s0 [ fp s0 ] events) (S.init scenario)
+
+(* Deep probe: random walks driven by the same seed follow identical paths
+   through identical transition systems, so any difference in enabled
+   transitions, invariant verdicts or observations along the way surfaces
+   as a diverging walk. Reaches depths a bounded BFS cannot. *)
+let walks_diverge buggy fixed scenario ~seeds ~depth =
+  let opts = { Simulate.default with max_depth = depth } in
+  let same_events a b =
+    List.equal
+      (fun x y -> String.equal (Trace.serialize_event x) (Trace.serialize_event y))
+      a b
+  in
+  List.exists
+    (fun seed ->
+      match
+        ( Simulate.walks buggy scenario opts ~seed ~count:1,
+          Simulate.walks fixed scenario opts ~seed ~count:1 )
+      with
+      | [ b ], [ f ] -> (
+        b.Simulate.violation <> f.Simulate.violation
+        || (not (same_events b.events f.events))
+        ||
+        (* same path: replay it on both specs and compare what they see *)
+        match
+          ( replay_digests buggy scenario b.events,
+            replay_digests fixed scenario b.events )
+        with
+        | Some db, Some df -> not (List.equal String.equal db df)
+        | None, None -> false  (* neither replays from a fixed init: no signal *)
+        | _ -> true)
+      | _ -> false)
+    (List.init seeds (fun i -> i + 1))
+
+(* Directed probe: drive both specs through the same scripted schedule and
+   compare what happens — a pattern that matches on one side only, traces
+   that differ, or identical traces seen differently. For bugs whose
+   divergent region is too deep or too narrow for blind search. *)
+let script_diverges buggy fixed scenario script =
+  match (Script.run buggy scenario script, Script.run fixed scenario script) with
+  | Error _, Ok _ | Ok _, Error _ -> true
+  | Error a, Error b -> a.Script.at <> b.Script.at
+  | Ok tb, Ok tf -> (
+    (not
+       (List.equal
+          (fun x y ->
+            String.equal (Trace.serialize_event x) (Trace.serialize_event y))
+          tb tf))
+    || Script.violation_after buggy scenario tb
+       <> Script.violation_after fixed scenario tf
+    ||
+    match (replay_digests buggy scenario tb, replay_digests fixed scenario tb) with
+    | Some db, Some df -> not (List.equal String.equal db df)
+    | None, None -> false
+    | _ -> true)
+
+(* wraft9 mis-reports the candidate's last-log term as 0: visible in the
+   RequestVote a log-holding candidate sends, so commit one entry to n1,
+   then make n1 campaign and deliver its vote request. *)
+let wraft9_probe_scenario =
+  Scenario.v ~name:"wraft9probe" ~nodes:2 ~workload:[ 1 ]
+    [ "timeouts", 4; "requests", 1; "crashes", 0; "restarts", 0;
+      "partitions", 0; "drops", 0; "dups", 0; "buffer", 3 ]
+
+let wraft9_probe_script =
+  let open Script in
+  [ timeout 0 "election";
+    deliver ~src:0 ~dst:1;
+    deliver ~src:1 ~dst:0;
+    client 0;
+    timeout 0 "heartbeat";
+    deliver_msg ~src:0 ~dst:1 "AE(";
+    deliver_msg ~src:1 ~dst:0 "AER(";
+    timeout 1 "election";
+    deliver ~src:1 ~dst:0 ]
+
+(* per-flag directed schedules, tried before the blind probes *)
+let directed (bug : Bug.info) =
+  match bug.flags with
+  | [ "wraft2" ] -> Some (Systems.Wraft.fig7_scenario, Systems.Wraft.fig7_script)
+  | [ "wraft9" ] -> Some (wraft9_probe_scenario, wraft9_probe_script)
+  | [ "zk1" ] ->
+    Some (Systems.Zookeeper.zk1_script_scenario, Systems.Zookeeper.zk1_script)
+  | _ -> None
+
+(* Last resort for Verification bugs: a bounded BFS hunt for the bug's own
+   target invariant on the buggy spec. A violation that does not replay as
+   a violation on the fixed spec is divergence by definition. *)
+let explorer_diverges buggy fixed scenario (bug : Bug.info) =
+  match (bug.stage, bug.invariant) with
+  | Bug.Verification, Some inv -> (
+    let opts =
+      { Explorer.default with
+        only_invariants = Some [ inv ];
+        time_budget = Some 60. }
+    in
+    match (Explorer.check buggy scenario opts).outcome with
+    | Explorer.Violation v -> (
+      match replay_digests fixed scenario v.events with
+      | None -> true  (* the fixed spec cannot even take this path *)
+      | Some _ -> (
+        match Script.violation_after fixed scenario v.events with
+        | Some (i, _) when String.equal i inv -> false
+        | _ -> true))
+    | _ -> false)
+  | _ -> false
+
+let diverges (sys : R.t) (bug : Bug.info) =
+  let buggy = sys.spec (Bug.flags bug.flags) in
+  let fixed = sys.spec Bug.Flags.empty in
+  let bfs spec = fingerprint spec bug.scenario ~depth:5 ~cap:800 in
+  (not (List.equal String.equal (bfs buggy) (bfs fixed)))
+  || (match directed bug with
+     | Some (scenario, script) -> script_diverges buggy fixed scenario script
+     | None -> false)
+  || walks_diverge buggy fixed bug.scenario ~seeds:60 ~depth:60
+  || explorer_diverges buggy fixed bug.scenario bug
+
+let spec_divergence (sys : R.t) (bug : Bug.info) () =
+  let expect_spec_change =
+    not (List.for_all (fun f -> List.mem f impl_only) bug.flags)
+  in
+  match (diverges sys bug, expect_spec_change) with
+  | true, true | false, false -> ()
+  | false, true ->
+    Alcotest.failf
+      "%s (flags %s): buggy and fixed specs are indistinguishable at \
+       shallow depth — flag not wired into the spec?"
+      bug.id
+      (String.concat "," bug.flags)
+  | true, false ->
+    Alcotest.failf
+      "%s (flags %s): registered as implementation-only but changes the \
+       spec — move it out of impl_only"
+      bug.id
+      (String.concat "," bug.flags)
+
+let test_flag_namespace_closed () =
+  List.iter
+    (fun (sys : R.t) ->
+      let bug_flags = List.concat_map (fun (b : Bug.info) -> b.flags) sys.bugs in
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: flag %s belongs to some bug" sys.name f)
+            true (List.mem f bug_flags))
+        sys.all_flags;
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: bug flag %s listed in all_flags" sys.name f)
+            true (List.mem f sys.all_flags))
+        bug_flags;
+      List.iter
+        (fun (b : Bug.info) ->
+          Alcotest.(check string)
+            (Fmt.str "%s: bug %s names its system" sys.name b.id)
+            sys.name b.system)
+        sys.bugs)
+    R.all
+
+let test_verification_invariants_exist () =
+  (* a Verification bug's target invariant must exist in its buggy spec,
+     otherwise `check --bugs` could never report it *)
+  List.iter
+    (fun (sys : R.t) ->
+      List.iter
+        (fun (b : Bug.info) ->
+          match (b.stage, b.invariant) with
+          | Bug.Verification, None ->
+            Alcotest.failf "%s: Verification bug without an invariant" b.id
+          | Bug.Verification, Some inv ->
+            let (module S : Spec.S) = sys.spec (Bug.flags b.flags) in
+            Alcotest.(check bool)
+              (Fmt.str "%s: invariant %s exists in spec" b.id inv)
+              true
+              (List.mem_assoc inv S.invariants)
+          | (Bug.Conformance | Bug.Modeling), _ -> ())
+        sys.bugs)
+    R.all
+
+let suite =
+  ( "registry",
+    [ case "flag namespace closed" test_flag_namespace_closed;
+      case "verification bugs name real invariants"
+        test_verification_invariants_exist ]
+    @ List.concat_map
+        (fun (sys : R.t) ->
+          List.map
+            (fun (b : Bug.info) ->
+              case (Fmt.str "%s spec divergence" b.id) (spec_divergence sys b))
+            sys.bugs)
+        R.all )

@@ -154,6 +154,136 @@ let test_envelope_newer_version () =
       rewrite path (Bytes.to_string raw);
       expect_corrupt "version" "newer" (fun () -> Binio.read_file path ~kind:7))
 
+(* ---- randomized sweeps: varint boundaries + envelope corruption ------- *)
+
+let test_varint_boundary_sweep () =
+  (* every power-of-two boundary ±1, both signs, plus min_int/max_int:
+     the values where LEB128 grows a byte and zigzag folds the sign *)
+  let boundaries =
+    List.concat_map
+      (fun shift ->
+        let p = 1 lsl shift in
+        [ p - 1; p; p + 1; -(p - 1); -p; -(p + 1) ])
+      (List.init 62 (fun i -> i + 1))
+    @ [ 0; 1; -1; min_int; min_int + 1; max_int; max_int - 1 ]
+  in
+  let b = Binio.sink () in
+  List.iter (Binio.zint b) boundaries;
+  (* uint takes any int as its 63-bit pattern, negatives included *)
+  List.iter (Binio.uint b) boundaries;
+  let src = Binio.of_string (Binio.contents b) in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) (Fmt.str "zint %d" v) v (Binio.read_zint src))
+    boundaries;
+  List.iter
+    (fun v ->
+      Alcotest.(check int) (Fmt.str "uint %d" v) v (Binio.read_uint src))
+    boundaries;
+  Alcotest.(check int) "fully consumed" 0 (Binio.remaining src)
+
+let test_random_value_roundtrip () =
+  (* seeded, so deterministic: random ints, floats and (arbitrary-byte)
+     strings written back-to-back and read back in the same order *)
+  let rng = Random.State.make [| 0x5eed |] in
+  let ints =
+    List.init 500 (fun _ ->
+        let v = Random.State.full_int rng max_int in
+        if Random.State.bool rng then v else -v)
+  in
+  let floats =
+    List.init 200 (fun _ -> Random.State.float rng 1e18 -. 5e17)
+  in
+  let strs =
+    List.init 200 (fun _ ->
+        String.init (Random.State.int rng 64) (fun _ ->
+            Char.chr (Random.State.int rng 256)))
+  in
+  let b = Binio.sink () in
+  List.iter (Binio.zint b) ints;
+  List.iter (Binio.f64 b) floats;
+  List.iter (Binio.str b) strs;
+  let src = Binio.of_string (Binio.contents b) in
+  List.iter
+    (fun v -> Alcotest.(check int) "zint" v (Binio.read_zint src))
+    ints;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "f64 bits" true
+        (Int64.equal (Int64.bits_of_float v)
+           (Int64.bits_of_float (Binio.read_f64 src))))
+    floats;
+  List.iter
+    (fun v -> Alcotest.(check string) "str" v (Binio.read_str src))
+    strs;
+  Alcotest.(check int) "fully consumed" 0 (Binio.remaining src)
+
+(* The envelope hardening property: no single bit-flip anywhere in the
+   file may change what decodes — every flip either raises Corrupt or
+   (for the one uncovered byte, the version, where a flip can only lower
+   it) yields the exact original payload. Exhaustive over a small file,
+   randomized over a large one. *)
+let flip_survives path ~kind ~expected bit =
+  let raw = Bytes.of_string (read_raw path) in
+  let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+  Bytes.set raw byte (Char.chr (Char.code (Bytes.get raw byte) lxor mask));
+  let flipped = Filename.concat (Filename.dirname path) "flipped.bin" in
+  rewrite flipped (Bytes.to_string raw);
+  match Binio.read_file flipped ~kind with
+  | exception Binio.Corrupt _ -> ()
+  | src ->
+    let payload = Binio.read_fixed src (Binio.remaining src) in
+    if not (String.equal payload expected) then
+      Alcotest.failf
+        "bit %d (byte %d): decoded a DIFFERENT payload instead of Corrupt"
+        bit byte;
+    (* only a version flip may slip through the checks undamaged *)
+    if byte <> 4 then
+      Alcotest.failf "bit %d (byte %d): flip not detected" bit byte
+
+let test_envelope_bitflip_exhaustive () =
+  let expected = "short payload" in
+  with_envelope_file
+    (fun b -> Binio.fixed b expected)
+    (fun path ->
+      let bits = 8 * String.length (read_raw path) in
+      for bit = 0 to bits - 1 do
+        flip_survives path ~kind:7 ~expected bit
+      done)
+
+let test_envelope_bitflip_random () =
+  let rng = Random.State.make [| 0xb17f11b5 |] in
+  let expected =
+    String.init 4096 (fun _ -> Char.chr (Random.State.int rng 256))
+  in
+  with_envelope_file
+    (fun b -> Binio.fixed b expected)
+    (fun path ->
+      let bits = 8 * String.length (read_raw path) in
+      (* all of the header and trailer, plus random payload positions *)
+      for bit = 0 to (8 * 14) - 1 do
+        flip_survives path ~kind:7 ~expected bit
+      done;
+      for bit = bits - (8 * 8) to bits - 1 do
+        flip_survives path ~kind:7 ~expected bit
+      done;
+      for _ = 1 to 256 do
+        flip_survives path ~kind:7 ~expected (Random.State.int rng bits)
+      done)
+
+let test_envelope_truncation_sweep () =
+  (* every proper prefix of the file must be rejected, never decoded *)
+  let expected = "truncate me" in
+  with_envelope_file
+    (fun b -> Binio.fixed b expected)
+    (fun path ->
+      let raw = read_raw path in
+      for keep = 0 to String.length raw - 1 do
+        rewrite path (String.sub raw 0 keep);
+        expect_corrupt (Fmt.str "prefix %d" keep) "" (fun () ->
+            Binio.read_file path ~kind:7)
+      done)
+
 (* ---- typed codecs ----------------------------------------------------- *)
 
 let sample_events : Trace.t =
@@ -604,4 +734,9 @@ let suite =
       case "sjson roundtrip" test_sjson_roundtrip;
       case "sjson rejects malformed" test_sjson_errors;
       case "manifest roundtrip + listing" test_manifest_roundtrip;
-      case "exit codes" test_exit_codes ] )
+      case "exit codes" test_exit_codes;
+      case "varint boundary sweep" test_varint_boundary_sweep;
+      case "random value roundtrip" test_random_value_roundtrip;
+      case "envelope bit-flip exhaustive" test_envelope_bitflip_exhaustive;
+      case "envelope bit-flip random" test_envelope_bitflip_random;
+      case "envelope truncation sweep" test_envelope_truncation_sweep ] )
