@@ -584,6 +584,170 @@ let scaling () =
     64
 
 (* ------------------------------------------------------------------ *)
+(* Memory: visited-store footprint in bytes per state                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measures per run, sequential and 4-worker:
+     - whole-heap bytes/state: peak GC live words sampled at every layer
+       barrier (after a forced full major, so live_words is exact) minus
+       the pre-run compacted baseline, divided by distinct states;
+     - store-only bytes/state and peak slot capacity: the engines'
+       visited.* gauges, which isolate the fingerprint store from spec
+       states, frontier and interning.
+   Every row runs in a fresh child process (the bench binary re-executed
+   with a hidden [memory-row] argv — [Unix.fork] is off the table once
+   any section has spawned domains): the OCaml 5 runtime never lowers
+   [live_words] back to the true live set after a run's garbage dies
+   (pool accounting sticks at the high-water mark), so a second
+   in-process measurement would start from the first run's peak and read
+   a delta of zero. A fresh process per row makes the baseline exact and
+   the rows independent of section order. The full major per layer costs
+   wall time, so this section reports footprint, not throughput —
+   states/sec lives in the scaling section. *)
+
+type memory_row = {
+  mr_distinct : int;
+  mr_generated : int;
+  mr_wall : float;
+  mr_outcome : string;
+  mr_heap_bytes : int;
+  mr_store_bytes : float;
+  mr_store_bps : float;
+  mr_peak_cap : float;
+}
+
+(* CI's perf-smoke job sets SANDTABLE_MEMORY_SMALL: one fixed exhaustive
+   model instead of the time-budgeted table-3 scenarios, so distinct
+   counts — and with them the store's slot-array growth and its
+   bytes_per_state — are bit-for-bit reproducible and comparable against
+   the committed bench/memory_baseline.json. *)
+let memory_targets () =
+  match Sys.getenv_opt "SANDTABLE_MEMORY_SMALL" with
+  | Some _ ->
+    let scenario =
+      Scenario.v ~name:"memory-smoke" ~nodes:2 ~workload:[ 1 ]
+        [ "timeouts", 6; "requests", 2; "crashes", 1; "restarts", 1;
+          "partitions", 0; "buffer", 4 ]
+    in
+    [ (R.find "pysyncobj", scenario) ]
+  | None -> List.map (fun (sys : R.t) -> (sys, sys.table3_scenario)) R.scaling
+
+let memory_child (sys : R.t) scenario workers =
+  let spec = sys.spec Bug.Flags.empty in
+  Gc.compact ();
+  let live0 = (Gc.quick_stat ()).live_words in
+  let peak = ref live0 in
+  let obs = Obs.Run.create ~workers () in
+  let opts =
+    { Explorer.default with
+      time_budget = Some (budget 60.);
+      probe = Obs.Run.probe obs;
+      on_layer =
+        Some
+          (fun _ _ ->
+            Gc.full_major ();
+            let live = (Gc.quick_stat ()).live_words in
+            if live > !peak then peak := live) }
+  in
+  let r =
+    if workers = 1 then Explorer.check spec scenario opts
+    else (Par.Par_explorer.check ~workers spec scenario opts).base
+  in
+  let sm =
+    Obs.Run.finish obs ~outcome:(outcome_tag r.outcome) ~distinct:r.distinct
+      ~generated:r.generated ~max_depth:r.max_depth ~duration:r.duration ()
+  in
+  let gauge name =
+    match List.assoc_opt name sm.Obs.Run.s_metrics.Obs.Metrics.s_gauges with
+    | Some g -> g.Obs.Metrics.g_max
+    | None -> 0.
+  in
+  { mr_distinct = r.distinct;
+    mr_generated = r.generated;
+    mr_wall = r.duration;
+    mr_outcome = outcome_tag r.outcome;
+    mr_heap_bytes = (!peak - live0) * (Sys.word_size / 8);
+    mr_store_bytes = gauge "visited.store_bytes";
+    mr_store_bps = gauge "visited.bytes_per_state";
+    mr_peak_cap = gauge "visited.capacity" }
+
+(* The child half of the re-exec protocol: one measured row as a single
+   machine-readable stdout line (stderr passes through untouched). *)
+let memory_row_main sys_name workers =
+  let sys = R.find sys_name in
+  let scenario =
+    match
+      List.find_opt (fun ((s : R.t), _) -> s.name = sys_name) (memory_targets ())
+    with
+    | Some (_, sc) -> sc
+    | None -> sys.table3_scenario
+  in
+  let m = memory_child sys scenario workers in
+  Printf.printf "%d %d %.6f %s %d %.0f %.6f %.0f\n" m.mr_distinct
+    m.mr_generated m.mr_wall m.mr_outcome m.mr_heap_bytes m.mr_store_bytes
+    m.mr_store_bps m.mr_peak_cap
+
+let memory_row_exec sys_name workers =
+  Fmt.pr "%!";
+  flush stdout;
+  let ic =
+    Unix.open_process_in
+      (Filename.quote_command Sys.executable_name
+         [ "memory-row"; sys_name; string_of_int workers ])
+  in
+  let line = input_line ic in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> failwith ("memory row child failed for " ^ sys_name));
+  Scanf.sscanf line "%d %d %f %s %d %f %f %f"
+    (fun distinct generated wall outcome heap store_b store_bps cap ->
+      { mr_distinct = distinct; mr_generated = generated; mr_wall = wall;
+        mr_outcome = outcome; mr_heap_bytes = heap; mr_store_bytes = store_b;
+        mr_store_bps = store_bps; mr_peak_cap = cap })
+
+let memory () =
+  section_header "Memory: visited-store footprint (bytes per state)";
+  let widths = [ 10; 8; 11; 12; 10; 11; 10; 8 ] in
+  row widths
+    [ "System"; "Workers"; "Distinct"; "Peak heap"; "B/state"; "Store B/st";
+      "Peak cap"; "Wall" ];
+  hrule widths;
+  List.iter
+    (fun ((sys : R.t), _scenario) ->
+      List.iter
+        (fun workers ->
+          let m = memory_row_exec sys.name workers in
+          let bps = float m.mr_heap_bytes /. float (max 1 m.mr_distinct) in
+          record_entry
+            { be_section = "memory"; be_system = sys.name;
+              be_workers = workers; be_distinct = m.mr_distinct;
+              be_generated = m.mr_generated; be_wall_s = m.mr_wall;
+              be_outcome = m.mr_outcome;
+              be_extra =
+                [ ("bytes_per_state", bps);
+                  ("heap_peak_bytes", float m.mr_heap_bytes);
+                  ("store_bytes", m.mr_store_bytes);
+                  ("store_bytes_per_state", m.mr_store_bps);
+                  ("peak_capacity", m.mr_peak_cap) ] };
+          row widths
+            [ sys.name;
+              string_of_int workers;
+              string_of_int m.mr_distinct;
+              Fmt.str "%.1fMB" (float m.mr_heap_bytes /. 1048576.);
+              Fmt.str "%.0f" bps;
+              Fmt.str "%.0f" m.mr_store_bps;
+              Fmt.str "%.0f" m.mr_peak_cap;
+              Fmt.str "%.2fs" m.mr_wall ];
+          Fmt.pr "%!")
+        [ 1; 4 ])
+    (memory_targets ());
+  Fmt.pr
+    "(B/state = peak live heap delta over distinct states — spec states, \
+     frontier, interning and the fingerprint store together; Store B/st = \
+     the open-addressed SoA visited store alone, from the visited.* \
+     gauges; peak cap = slot-array length at its largest)@."
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint overhead: lib/store periodic checkpoints vs none          *)
 (* ------------------------------------------------------------------ *)
 
@@ -940,12 +1104,19 @@ let sections =
     "fig7", fig7;
     "ablation", ablation;
     "scaling", scaling;
+    "memory", memory;
     "checkpoint", checkpoint_bench;
     "obs", obs_bench;
     "shrink", shrink_bench;
     "micro", micro ]
 
 let () =
+  (* child half of the memory section's process-per-row protocol *)
+  (match Array.to_list Sys.argv with
+  | [ _; "memory-row"; sys_name; workers ] ->
+    memory_row_main sys_name (int_of_string workers);
+    exit 0
+  | _ -> ());
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names

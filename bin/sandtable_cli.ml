@@ -283,7 +283,13 @@ let check_cmd =
           Option.iter
             (fun snap ->
               Fmt.epr "resuming at depth %d: %d distinct states@."
-                snap.Explorer.snap_depth snap.Explorer.snap_distinct)
+                snap.Explorer.snap_depth snap.Explorer.snap_distinct;
+              if snap.Explorer.snap_kernel <> Fingerprint.kernel_id then
+                Fmt.epr
+                  "checkpoint uses fingerprint kernel %d (current is %d); \
+                   migrating by provenance replay — this recomputes every \
+                   checkpointed state once@."
+                  snap.Explorer.snap_kernel Fingerprint.kernel_id)
             resume_snap;
           let manifest =
             Option.map

@@ -5,13 +5,17 @@ type provenance =
 (* A layer-barrier image of the explorer: everything needed to continue the
    BFS bit-for-bit. Frontier states are not stored — each one is recovered
    on resume by replaying its provenance chain (which is deterministic, and
-   keeps snapshots free of Marshal'd spec states). *)
+   keeps snapshots free of Marshal'd spec states). [snap_kernel] records
+   the fingerprint kernel the snapshot's fingerprints came from; resuming
+   under a different kernel first rebuilds every fingerprint by replaying
+   provenance chains ([migrate_snapshot]). *)
 type snapshot = {
   snap_depth : int;
   snap_frontier : Fingerprint.t list;
   snap_distinct : int;
   snap_generated : int;
   snap_max_depth : int;
+  snap_kernel : int;
   snap_visited : (Fingerprint.t -> provenance -> int -> unit) -> unit;
 }
 
@@ -94,35 +98,39 @@ type result = {
 exception Stop of outcome
 
 module Run (S : Spec.S) = struct
-  type entry = { prov : provenance; depth : int }
-
   (* [probe] is threaded separately from [opts] so the parallel engine can
      hand each worker its own (domain-local) probe view. *)
   let fingerprint ?probe opts scenario state =
-    if opts.symmetry && S.permutable then begin
-      Probe.span_begin probe "symmetry-normalize";
-      let fp =
-        Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
-          ~nodes:scenario.Scenario.nodes state
-      in
-      Probe.span_end probe "symmetry-normalize";
-      fp
-    end
-    else begin
-      Probe.span_begin probe "fingerprint";
-      let fp = Fingerprint.of_state ~who:S.name state in
-      Probe.span_end probe "fingerprint";
-      fp
-    end
+    let b0 = if Probe.is_on probe then Fingerprint.marshalled_bytes () else 0 in
+    let fp =
+      if opts.symmetry && S.permutable then begin
+        Probe.span_begin probe "symmetry-normalize";
+        let fp =
+          Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
+            ~nodes:scenario.Scenario.nodes state
+        in
+        Probe.span_end probe "symmetry-normalize";
+        fp
+      end
+      else begin
+        Probe.span_begin probe "fingerprint";
+        let fp = Fingerprint.of_state ~who:S.name state in
+        Probe.span_end probe "fingerprint";
+        fp
+      end
+    in
+    if Probe.is_on probe then
+      Probe.count probe "fp.bytes" (Fingerprint.marshalled_bytes () - b0);
+    fp
 
   (* Walk provenance back to a root, returning (init_index, events). *)
-  let trace_of visited fp =
-    let rec back fp acc =
-      match (Fingerprint.Tbl.find visited fp).prov with
-      | Root i -> i, acc
-      | Step { parent; event } -> back parent (event :: acc)
+  let trace_of visited idx =
+    let rec back idx acc =
+      match Fp_store.prov visited idx with
+      | Fp_store.Proot i -> i, acc
+      | Fp_store.Pstep (pred, event) -> back pred (event :: acc)
     in
-    back fp []
+    back idx []
 
   (* Re-execute the recorded event chain concretely to recover the final
      state for reporting. Every recorded event was generated from the stored
@@ -142,20 +150,20 @@ module Run (S : Spec.S) = struct
         | None -> invalid_arg "Explorer: unreplayable provenance chain")
       s0 events
 
-  let violation_of visited scenario fp invariant depth =
-    let init_index, events = trace_of visited fp in
+  let violation_of visited scenario idx invariant depth =
+    let init_index, events = trace_of visited idx in
     let state = final_state scenario init_index events in
     { invariant; events; depth; state_repr = Fmt.str "%a" S.pp_state state }
 
   (* Recover the concrete states of a checkpointed frontier by replaying
-     each fingerprint's provenance chain. Chains share prefixes (they form
-     the BFS tree), so every intermediate state is memoized by fingerprint
-     and replayed at most once. *)
+     each entry's provenance chain. Chains share prefixes (they form the
+     BFS tree), so every intermediate state is memoized by entry index and
+     replayed at most once. *)
   let rebuild_frontier visited scenario fps =
-    let memo : S.state Fingerprint.Tbl.t = Fingerprint.Tbl.create 1024 in
+    let memo : (int, S.state) Hashtbl.t = Hashtbl.create 1024 in
     let inits = lazy (S.init scenario) in
-    let entry_of fp =
-      match Fingerprint.Tbl.find_opt visited fp with
+    let idx_of fp =
+      match Fp_store.find visited fp with
       | Some e -> e
       | None ->
         invalid_arg
@@ -165,16 +173,71 @@ module Run (S : Spec.S) = struct
     let state_of fp0 =
       (* walk back to the nearest memoized ancestor (or a root), then
          replay forward, memoizing every step *)
+      let rec collect idx pending =
+        match Hashtbl.find_opt memo idx with
+        | Some s -> s, pending
+        | None -> (
+          match Fp_store.prov visited idx with
+          | Fp_store.Proot i ->
+            let s = List.nth (Lazy.force inits) i in
+            Hashtbl.replace memo idx s;
+            s, pending
+          | Fp_store.Pstep (pred, event) ->
+            collect pred ((idx, event) :: pending))
+      in
+      let base, pending = collect (idx_of fp0) [] in
+      List.fold_left
+        (fun state (idx, event) ->
+          match
+            List.find_map
+              (fun (e, s') ->
+                if Trace.equal_event e event then Some s' else None)
+              (S.next scenario state)
+          with
+          | Some s' ->
+            Hashtbl.replace memo idx s';
+            s'
+          | None ->
+            invalid_arg
+              "Explorer: unreplayable checkpoint provenance chain (spec \
+               changed since the checkpoint was written?)")
+        base pending
+    in
+    List.map state_of fps
+
+  (* Rebuild a snapshot whose fingerprints came from a different hash
+     kernel: replay every visited entry's provenance chain to its concrete
+     state (memoized — each state is computed once, like
+     [rebuild_frontier]) and re-fingerprint it under the current kernel.
+     The old fingerprints act purely as opaque keys here, so the snapshot
+     survives any kernel change, in either direction. Costs roughly the
+     exploration work the checkpoint had already banked, and holds the
+     checkpointed states in memory while it runs. *)
+  let migrate_snapshot scenario opts (snap : snapshot) : snapshot =
+    let entries = Fingerprint.Tbl.create 4096 in
+    let order = ref [] in
+    snap.snap_visited (fun fp prov d ->
+        Fingerprint.Tbl.replace entries fp (prov, d);
+        order := fp :: !order);
+    let order = List.rev !order in
+    let memo : S.state Fingerprint.Tbl.t = Fingerprint.Tbl.create 4096 in
+    let inits = lazy (S.init scenario) in
+    let state_of fp0 =
       let rec collect fp pending =
         match Fingerprint.Tbl.find_opt memo fp with
         | Some s -> s, pending
         | None -> (
-          match (entry_of fp).prov with
-          | Root i ->
+          match Fingerprint.Tbl.find_opt entries fp with
+          | None ->
+            invalid_arg
+              "Explorer: checkpoint provenance references a fingerprint \
+               missing from its visited set (corrupted checkpoint?)"
+          | Some (Root i, _) ->
             let s = List.nth (Lazy.force inits) i in
             Fingerprint.Tbl.replace memo fp s;
             s, pending
-          | Step { parent; event } -> collect parent ((fp, event) :: pending))
+          | Some (Step { parent; event }, _) ->
+            collect parent ((fp, event) :: pending))
       in
       let base, pending = collect fp0 [] in
       List.fold_left
@@ -194,12 +257,41 @@ module Run (S : Spec.S) = struct
                changed since the checkpoint was written?)")
         base pending
     in
-    List.map state_of fps
+    let remapped = Fingerprint.Tbl.create 4096 in
+    List.iter
+      (fun fp ->
+        Fingerprint.Tbl.replace remapped fp
+          (fingerprint opts scenario (state_of fp)))
+      order;
+    let remap fp = Fingerprint.Tbl.find remapped fp in
+    { snap with
+      snap_kernel = Fingerprint.kernel_id;
+      snap_frontier = List.map remap snap.snap_frontier;
+      snap_visited =
+        (fun k ->
+          List.iter
+            (fun fp ->
+              let prov, d = Fingerprint.Tbl.find entries fp in
+              let prov =
+                match prov with
+                | Root _ as p -> p
+                | Step { parent; event } ->
+                  Step { parent = remap parent; event }
+              in
+              k (remap fp) prov d)
+            order) }
 
   let check ?resume scenario opts =
     let started = Unix.gettimeofday () in
     let probe = opts.probe in
-    let visited : entry Fingerprint.Tbl.t = Fingerprint.Tbl.create 65536 in
+    let resume =
+      Option.map
+        (fun (snap : snapshot) ->
+          if snap.snap_kernel = Fingerprint.kernel_id then snap
+          else migrate_snapshot scenario opts snap)
+        resume
+    in
+    let visited = Fp_store.create () in
     let fr =
       match opts.frontier with
       | None -> queue_frontier ()
@@ -217,12 +309,12 @@ module Run (S : Spec.S) = struct
       | Some names ->
         List.filter (fun (name, _) -> List.mem name names) S.invariants
     in
-    let check_invariants fp depth state =
+    let check_invariants idx depth state =
       Probe.span_begin probe "invariant";
       List.iter
         (fun (name, holds) ->
           if not (holds scenario state) then begin
-            let v = violation_of visited scenario fp name depth in
+            let v = violation_of visited scenario idx name depth in
             if opts.stop_on_violation then raise (Stop (Violation v))
           end)
         selected_invariants;
@@ -230,7 +322,7 @@ module Run (S : Spec.S) = struct
     in
     let over_budget depth =
       (match opts.max_states with
-      | Some m -> Fingerprint.Tbl.length visited >= m
+      | Some m -> Fp_store.length visited >= m
       | None -> false)
       || (match opts.max_depth with Some d -> depth > d | None -> false)
       || match deadline with
@@ -239,20 +331,19 @@ module Run (S : Spec.S) = struct
     in
     let discover prov depth state =
       let fp = fingerprint ?probe opts scenario state in
-      if not (Fingerprint.Tbl.mem visited fp) then begin
-        Fingerprint.Tbl.replace visited fp { prov; depth };
+      match Fp_store.add visited fp prov ~depth with
+      | Fp_store.Dup _ -> Probe.count probe "fp.dup" 1
+      | Fp_store.Fresh idx ->
         if depth > !max_depth_seen then max_depth_seen := depth;
-        check_invariants fp depth state;
-        if S.constraint_ok scenario state then fr.fr_push (state, fp, depth);
-        let n = Fingerprint.Tbl.length visited in
+        check_invariants idx depth state;
+        if S.constraint_ok scenario state then fr.fr_push (state, idx, depth);
+        let n = Fp_store.length visited in
         if opts.progress_every > 0 && n mod opts.progress_every = 0 then
           Option.iter
             (fun f ->
               f { distinct = n; generated = !generated; depth;
                   frontier_len = fr.fr_length (); elapsed = elapsed () })
             opts.progress
-      end
-      else Probe.count probe "fp.dup" 1
     in
     (* cur_depth is the layer currently being expanded; layer_remaining its
        unexpanded tail. When it hits zero the frontier holds exactly the
@@ -261,28 +352,64 @@ module Run (S : Spec.S) = struct
        plain queue-driven loop. *)
     let cur_depth = ref 0 in
     (match resume with
-    | None -> List.iteri (fun i s -> discover (Root i) 0 s) (S.init scenario)
+    | None ->
+      List.iteri
+        (fun i s -> discover (Fp_store.Proot i) 0 s)
+        (S.init scenario)
     | Some snap ->
+      (* the checkpoint may list a child before its parent (visited-set
+         iteration order is not topological), so steps whose parent is not
+         in yet get a pending predecessor, patched once every entry is in *)
+      let pending = ref [] in
       snap.snap_visited (fun fp prov depth ->
-          Fingerprint.Tbl.replace visited fp { prov; depth });
+          match prov with
+          | Root i -> ignore (Fp_store.add visited fp (Fp_store.Proot i) ~depth)
+          | Step { parent; event } -> (
+            match Fp_store.find visited parent with
+            | Some p ->
+              ignore
+                (Fp_store.add visited fp (Fp_store.Pstep (p, event)) ~depth)
+            | None -> (
+              match Fp_store.add_pending_step visited fp event ~depth with
+              | Fp_store.Fresh idx -> pending := (idx, parent) :: !pending
+              | Fp_store.Dup _ -> ())));
+      List.iter
+        (fun (idx, parent) ->
+          match Fp_store.find visited parent with
+          | Some p -> Fp_store.set_pred visited idx p
+          | None ->
+            invalid_arg
+              "Explorer: checkpoint provenance references a fingerprint \
+               missing from its visited set (corrupted checkpoint?)")
+        !pending;
       generated := snap.snap_generated;
       max_depth_seen := snap.snap_max_depth;
       cur_depth := snap.snap_depth;
       let states = rebuild_frontier visited scenario snap.snap_frontier in
       List.iter2
-        (fun fp state -> fr.fr_push (state, fp, snap.snap_depth))
+        (fun fp state ->
+          let idx = Option.get (Fp_store.find visited fp) in
+          fr.fr_push (state, idx, snap.snap_depth))
         snap.snap_frontier states);
     let snapshot_now () =
       let fps = ref [] in
-      fr.fr_iter (fun (_, fp, _) -> fps := fp :: !fps);
+      fr.fr_iter (fun (_, idx, _) -> fps := Fp_store.fp visited idx :: !fps);
       { snap_depth = !cur_depth;
         snap_frontier = List.rev !fps;
-        snap_distinct = Fingerprint.Tbl.length visited;
+        snap_distinct = Fp_store.length visited;
         snap_generated = !generated;
         snap_max_depth = !max_depth_seen;
+        snap_kernel = Fingerprint.kernel_id;
         snap_visited =
           (fun k ->
-            Fingerprint.Tbl.iter (fun fp e -> k fp e.prov e.depth) visited) }
+            Fp_store.iter visited (fun _ fp prov depth ->
+                let prov =
+                  match prov with
+                  | Fp_store.Proot i -> Root i
+                  | Fp_store.Pstep (pred, event) ->
+                    Step { parent = Fp_store.fp visited pred; event }
+                in
+                k fp prov depth)) }
     in
     let layer_remaining = ref (fr.fr_length ()) in
     Probe.span_begin probe "expand";
@@ -298,14 +425,14 @@ module Run (S : Spec.S) = struct
                  engine's last layer barrier — keeps per-layer event logs
                  identical across engines and worker counts *)
               Probe.layer probe ~depth:(!cur_depth + 1)
-                ~distinct:(Fingerprint.Tbl.length visited)
+                ~distinct:(Fp_store.length visited)
                 ~generated:!generated ~frontier:0 ~elapsed:(elapsed ())
             | n ->
               layer_remaining := n;
               incr cur_depth;
               Probe.span_end probe "expand";
               Probe.layer probe ~depth:!cur_depth
-                ~distinct:(Fingerprint.Tbl.length visited)
+                ~distinct:(Fp_store.length visited)
                 ~generated:!generated ~frontier:n ~elapsed:(elapsed ());
               Option.iter
                 (fun hook -> hook !cur_depth (lazy (snapshot_now ())))
@@ -313,19 +440,19 @@ module Run (S : Spec.S) = struct
               Probe.span_begin probe "expand"
           end;
           if !continue then begin
-            let state, fp, depth = Option.get (fr.fr_pop ()) in
+            let state, idx, depth = Option.get (fr.fr_pop ()) in
             decr layer_remaining;
             if over_budget depth then raise (Stop Budget_spent);
             let successors = S.next scenario state in
             if successors = [] && opts.check_deadlock then begin
-              let init_index, events = trace_of visited fp in
+              let init_index, events = trace_of visited idx in
               ignore init_index;
               raise (Stop (Deadlock events))
             end;
             List.iter
               (fun (event, state') ->
                 incr generated;
-                discover (Step { parent = fp; event }) (depth + 1) state')
+                discover (Fp_store.Pstep (idx, event)) (depth + 1) state')
               successors
           end
         done;
@@ -334,8 +461,21 @@ module Run (S : Spec.S) = struct
     in
     Probe.span_end probe "expand";
     fr.fr_close ();
+    if Probe.is_on probe then begin
+      let n = Fp_store.length visited in
+      let bytes = Fp_store.store_bytes visited in
+      Probe.gauge probe "visited.entries" (float_of_int n);
+      Probe.gauge probe "visited.capacity"
+        (float_of_int (Fp_store.capacity visited));
+      Probe.gauge probe "visited.store_bytes" (float_of_int bytes);
+      if n > 0 then
+        Probe.gauge probe "visited.bytes_per_state"
+          (float_of_int bytes /. float_of_int n);
+      Probe.gauge probe "visited.probe_steps"
+        (float_of_int (Fp_store.probe_steps visited))
+    end;
     { outcome;
-      distinct = Fingerprint.Tbl.length visited;
+      distinct = Fp_store.length visited;
       generated = !generated;
       max_depth = !max_depth_seen;
       duration = elapsed () }
@@ -344,6 +484,10 @@ end
 let check ?resume (module S : Spec.S) scenario opts =
   let module R = Run (S) in
   R.check ?resume scenario opts
+
+let migrate_snapshot (module S : Spec.S) scenario opts snap =
+  let module R = Run (S) in
+  R.migrate_snapshot scenario opts snap
 
 let pp_outcome ppf = function
   | Exhausted -> Fmt.string ppf "state space exhausted"

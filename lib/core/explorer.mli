@@ -18,6 +18,9 @@ type snapshot = {
   snap_distinct : int;
   snap_generated : int;
   snap_max_depth : int;
+  snap_kernel : int;
+      (** the {!Fingerprint.kernel_id} that produced the snapshot's
+          fingerprints *)
   snap_visited : (Fingerprint.t -> provenance -> int -> unit) -> unit;
       (** iterate the visited set: fingerprint, provenance, depth. The
           iterator may stream over live or on-disk data — consume it
@@ -107,7 +110,20 @@ val check : ?resume:snapshot -> Spec.t -> Scenario.t -> options -> result
     (same distinct/generated counters, same outcome, same counterexample).
     The caller is responsible for resuming with the same spec, scenario and
     options the snapshot was taken under ([Store.Checkpoint] enforces this
-    with an identity hash). *)
+    with an identity hash). A snapshot whose [snap_kernel] differs from the
+    current {!Fingerprint.kernel_id} is migrated transparently first (see
+    {!migrate_snapshot}). *)
+
+val migrate_snapshot : Spec.t -> Scenario.t -> options -> snapshot -> snapshot
+(** Rebuild a snapshot taken under a different fingerprint kernel: every
+    visited entry's provenance chain is replayed to its concrete state
+    (memoized, so each state is computed once) and re-fingerprinted under
+    the current kernel; frontier and provenance references are remapped
+    accordingly. The result has [snap_kernel = Fingerprint.kernel_id] and
+    resumes bit-for-bit like a native snapshot. Costs roughly the
+    exploration work the checkpoint had banked. [check ~resume] calls this
+    automatically when kernels differ; it is exposed for tools that want to
+    migrate-and-save without resuming. *)
 
 val pp_result : Format.formatter -> result -> unit
 

@@ -1,24 +1,63 @@
 (** State fingerprints for stateful exploration.
 
-    A fingerprint is a 128-bit digest of the marshalled state value. States
-    must be pure data (no closures, no mutation after hashing). Collision
-    probability at 10{^9} states is ~10{^-20}, comfortably below TLC's own
-    64-bit fingerprint guarantees. *)
+    A fingerprint is a 126-bit digest of the marshalled state value,
+    represented as two native 63-bit ints — no heap allocation per
+    fingerprint. States must be pure data (no closures, no mutation after
+    hashing). The kernel is a non-cryptographic two-lane multiply–rotate
+    mix (xxhash64 family) over a reusable domain-local marshal arena:
+    zero-copy (no intermediate string) and allocation-free on the hot
+    path. Collision probability at 10{^9} states is ~10{^-11} — weaker
+    than the old MD5 digest's ~10{^-20} but still far below TLC's 64-bit
+    fingerprint guarantees, at a fraction of the cost per byte. *)
 
-type t = string  (** 16 raw bytes *)
+type t = private { hi : int; lo : int }
+(** Two 63-bit halves. The representation is exposed (read-only) so the
+    visited stores can keep fingerprints in unboxed [int array] columns;
+    use {!of_parts} to rebuild one from stored halves. *)
+
+val kernel_id : int
+(** Identifies the hash kernel ([1]; [0] was the MD5 digest). Persisted in
+    checkpoints so a resume under a different kernel knows to rebuild
+    fingerprints by provenance replay. *)
 
 val of_state : ?who:string -> 'a -> t
 (** [of_state ?who state] digests the marshalled [state]. If the state
     contains unmarshallable values (closures, lazy thunks), raises
     [Invalid_argument] with a message naming the offending spec [who]. *)
 
+val of_parts : hi:int -> lo:int -> t
+(** Rebuild a fingerprint from halves previously read off {!t} (the
+    visited stores' SoA columns). No validation — halves are opaque. *)
+
+val marshalled_bytes : unit -> int
+(** Total bytes marshalled into this domain's arena since it was created
+    (feeds the [fp.bytes] metric; deltas are per-domain exact). *)
+
 val to_hex : t -> string
+(** 32 lowercase hex characters (the {!to_raw} bytes). *)
+
+val to_raw : t -> string
+(** 16-byte little-endian codec used by the checkpoint format: bytes 0–7
+    are [hi], bytes 8–15 are [lo]. [of_raw (to_raw fp) = fp]. *)
+
+val of_raw : string -> t
+(** Inverse of {!to_raw}. Also accepts foreign 128-bit digests (legacy MD5
+    checkpoints): bit 63 of each half is dropped, which keeps the value
+    injective w.h.p.; such values serve only as opaque keys while a legacy
+    checkpoint is migrated. Raises [Invalid_argument] unless the input is
+    exactly 16 bytes. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val bucket_hash : t -> int
+(** Full-word (62-bit, non-negative) bucket hash mixing both halves; what
+    {!Tbl} and the open-addressed visited stores probe with. Uses disjoint
+    bits from {!shard_key}. *)
 
 module Tbl : Hashtbl.S with type key = t
 
 val shard_key : t -> mask:int -> int
-(** [shard_key fp ~mask] selects a shard index from the top fingerprint
-    bytes ([mask] must be [2{^k}-1], [k <= 16]). Uses different bytes than
-    [Tbl]'s bucket hash so per-shard tables stay uniformly filled. *)
+(** [shard_key fp ~mask] selects a shard index from the top bits of [hi]
+    ([mask] must be [2{^k}-1], [k <= 16]). Those bits never reach the low
+    bits of {!bucket_hash}, so per-shard tables stay uniformly filled. *)

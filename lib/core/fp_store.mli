@@ -1,0 +1,60 @@
+(** The sequential explorer's visited set: an open-addressed fingerprint
+    table in structure-of-arrays layout.
+
+    Linear probing over a power-of-two slot array (load factor <= 3/4);
+    entries live in dense append-only [int] columns — fingerprint halves,
+    packed depth + provenance code, predecessor index — so a visited state
+    costs ~6–8 words with no per-entry boxing, versus ~14 for the old
+    hashtable of records. Entry indices are stable (growth rehashes only
+    the slot array), which makes provenance a plain predecessor index and
+    gives iteration in discovery order for free. Events are interned
+    structurally and referenced by id. Single-domain; the sharded
+    concurrent analogue is [Par.Shard_set]. *)
+
+type t
+
+type prov =
+  | Proot of int  (** index into the init-state list *)
+  | Pstep of int * Trace.event
+      (** predecessor entry index, discovering event *)
+
+type add_result = Fresh of int | Dup of int
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 65536 slots) is rounded up to a power of two. *)
+
+val add : t -> Fingerprint.t -> prov -> depth:int -> add_result
+(** Insert, or report the existing entry's index. Raises
+    [Invalid_argument] if [depth >= 2{^20}] (a BFS that deep is a bug). *)
+
+val add_pending_step : t -> Fingerprint.t -> Trace.event -> depth:int ->
+  add_result
+(** Insert a step entry whose predecessor index is not known yet (resume
+    reads checkpoint entries in file order, which may list children before
+    parents). Reading such an entry's provenance is meaningless until
+    {!set_pred} resolves it. *)
+
+val set_pred : t -> int -> int -> unit
+(** [set_pred t e p] resolves entry [e]'s pending predecessor to [p].
+    Raises [Invalid_argument] if [e] was not inserted with
+    {!add_pending_step}. *)
+
+val find : t -> Fingerprint.t -> int option
+val length : t -> int
+val fp : t -> int -> Fingerprint.t
+val prov : t -> int -> prov
+val depth : t -> int -> int
+
+val iter : t -> (int -> Fingerprint.t -> prov -> int -> unit) -> unit
+(** In insertion (= discovery) order. *)
+
+val capacity : t -> int
+(** Current slot-array length. *)
+
+val store_bytes : t -> int
+(** Exact bytes held by the slot array and entry columns (excludes the
+    interned-event values, which both old and new layouts share). *)
+
+val probe_steps : t -> int
+(** Cumulative linear-probe steps beyond the home slot, over all lookups
+    and inserts — a cheap health measure of the hash distribution. *)

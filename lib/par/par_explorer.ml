@@ -26,52 +26,57 @@ type candidate =
   | Dead of int * Fingerprint.t  (* frontier index with no successors *)
 
 module Run (S : Spec.S) = struct
-  (* [pos] is the state's discovery position within its layer — (frontier
-     index of the parent, successor index) — i.e. the order sequential BFS
-     would first reach it. [merge] keeps the minimal (depth, pos) entry, so
-     provenance chains, violation choice and early-stop accounting all
-     coincide with the sequential explorer regardless of worker count.
+  (* An entry's [pos] (packed inside Shard_set) is the state's discovery
+     position within its layer — (frontier index of the parent, successor
+     index) — i.e. the order sequential BFS would first reach it.
+     [Shard_set.merge] keeps the minimal (depth, pos) entry, so provenance
+     chains, violation choice and early-stop accounting all coincide with
+     the sequential explorer regardless of worker count.
 
-     [state] is the concrete state the entry's provenance chain replays to,
-     [Some] only for states in the layer currently being built. It must
-     live inside the entry: under symmetry reduction two distinct concrete
-     states canonicalize to the same fingerprint, and if the frontier kept
-     whichever variant won the insertion race while [merge] kept the
-     minimal-pos provenance, the next layer's events would be generated
-     from a state the stored chain does not replay to. Selecting state and
-     provenance together in [better] keeps them consistent; the barrier
-     checks the state constraint (winners only — checking every generated
-     candidate would be measurably slower) and clears [state] once the
-     next frontier is built, bounding memory to one layer of states. *)
-  type entry = {
-    prov : provenance;
-    depth : int;
-    pos : int * int;
-    mutable state : S.state option;
-  }
+     The concrete state the winning provenance chain replays to is stored
+     alongside it, [Some] only for states in the layer currently being
+     built. It must live inside the entry: under symmetry reduction two
+     distinct concrete states canonicalize to the same fingerprint, and if
+     the frontier kept whichever variant won the insertion race while the
+     merge kept the minimal-pos provenance, the next layer's events would
+     be generated from a state the stored chain does not replay to.
+     [Shard_set.merge] selects state and provenance together under the
+     shard lock; the barrier checks the state constraint (winners only —
+     checking every generated candidate would be measurably slower) and
+     [take_state] clears it once the next frontier is built, bounding
+     memory to one layer of states. *)
 
-  let better a b =
-    if a.depth < b.depth then a
-    else if b.depth < a.depth then b
-    else if compare a.pos b.pos <= 0 then a
-    else b
+  let prov_in = function
+    | Root i -> Shard_set.Proot i
+    | Step { parent; event } -> Shard_set.Pstep (parent, event)
+
+  let prov_out = function
+    | Shard_set.Proot i -> Root i
+    | Shard_set.Pstep (parent, event) -> Step { parent; event }
+
   let fingerprint ?probe (opts : Explorer.options) (scenario : Scenario.t)
       state =
-    if opts.symmetry && S.permutable then begin
-      Probe.span_begin probe "symmetry-normalize";
-      let fp =
-        Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
-          ~nodes:scenario.Scenario.nodes state
-      in
-      Probe.span_end probe "symmetry-normalize";
-      fp
-    end
-    else begin
-      Probe.span_begin probe "fingerprint";
-      let fp = Fingerprint.of_state ~who:S.name state in
-      Probe.span_end probe "fingerprint";
-      fp
-    end
+    let b0 = if Probe.is_on probe then Fingerprint.marshalled_bytes () else 0 in
+    let fp =
+      if opts.symmetry && S.permutable then begin
+        Probe.span_begin probe "symmetry-normalize";
+        let fp =
+          Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
+            ~nodes:scenario.Scenario.nodes state
+        in
+        Probe.span_end probe "symmetry-normalize";
+        fp
+      end
+      else begin
+        Probe.span_begin probe "fingerprint";
+        let fp = Fingerprint.of_state ~who:S.name state in
+        Probe.span_end probe "fingerprint";
+        fp
+      end
+    in
+    if Probe.is_on probe then
+      Probe.count probe "fp.bytes" (Fingerprint.marshalled_bytes () - b0);
+    fp
 
   let final_state scenario init_index events =
     let s0 = List.nth (S.init scenario) init_index in
@@ -91,9 +96,9 @@ module Run (S : Spec.S) = struct
   let rebuild_frontier visited scenario fps =
     let memo : S.state Fingerprint.Tbl.t = Fingerprint.Tbl.create 1024 in
     let inits = lazy (S.init scenario) in
-    let entry_of fp =
-      match Shard_set.find_opt visited fp with
-      | Some e -> e
+    let prov_of fp =
+      match Shard_set.find_prov_opt visited fp with
+      | Some p -> p
       | None ->
         invalid_arg
           "Par_explorer: checkpoint frontier references a fingerprint \
@@ -104,12 +109,13 @@ module Run (S : Spec.S) = struct
         match Fingerprint.Tbl.find_opt memo fp with
         | Some s -> s, pending
         | None -> (
-          match (entry_of fp).prov with
-          | Root i ->
+          match prov_of fp with
+          | Shard_set.Proot i ->
             let s = List.nth (Lazy.force inits) i in
             Fingerprint.Tbl.replace memo fp s;
             s, pending
-          | Step { parent; event } -> collect parent ((fp, event) :: pending))
+          | Shard_set.Pstep (parent, event) ->
+            collect parent ((fp, event) :: pending))
       in
       let base, pending = collect fp0 [] in
       List.fold_left
@@ -136,7 +142,14 @@ module Run (S : Spec.S) = struct
     let elapsed () = Unix.gettimeofday () -. started in
     let workers = Pool.size pool in
     let probe = opts.probe in
-    let visited : entry Shard_set.t = Shard_set.create ~shards:64 () in
+    let resume =
+      Option.map
+        (fun (snap : Explorer.snapshot) ->
+          if snap.snap_kernel = Fingerprint.kernel_id then snap
+          else Explorer.migrate_snapshot (module S) scenario opts snap)
+        resume
+    in
+    let visited : S.state Shard_set.t = Shard_set.create ~shards:64 () in
     let deadline = Option.map (fun b -> started +. b) opts.time_budget in
     let selected_invariants =
       match opts.only_invariants with
@@ -152,9 +165,9 @@ module Run (S : Spec.S) = struct
     in
     let trace_of fp =
       let rec back fp acc =
-        match (Shard_set.find visited fp).prov with
-        | Root i -> i, acc
-        | Step { parent; event } -> back parent (event :: acc)
+        match Shard_set.find_prov visited fp with
+        | Shard_set.Proot i -> i, acc
+        | Shard_set.Pstep (parent, event) -> back parent (event :: acc)
       in
       back fp []
     in
@@ -197,9 +210,7 @@ module Run (S : Spec.S) = struct
          consulted again (only same-depth insertions compare positions,
          and every future candidate is strictly deeper) *)
       snap.Explorer.snap_visited (fun fp prov d ->
-          ignore
-            (Shard_set.add_if_absent visited fp
-               { prov; depth = d; pos = (0, 0); state = None }));
+          ignore (Shard_set.add_seed visited fp (prov_in prov) ~depth:d));
       distinct_total := snap.Explorer.snap_distinct;
       gen_prev := snap.Explorer.snap_generated;
       max_depth_seen := snap.Explorer.snap_max_depth;
@@ -216,8 +227,8 @@ module Run (S : Spec.S) = struct
         (fun i s ->
           if !outcome = None then begin
             let fp = fingerprint ?probe opts scenario s in
-            let e = { prov = Root i; depth = 0; pos = (0, i); state = None } in
-            if Shard_set.add_if_absent visited fp e then begin
+            if Shard_set.add_seed visited fp (Shard_set.Proot i) ~depth:0
+            then begin
               incr distinct_total;
               (match first_broken s with
               | Some inv when opts.stop_on_violation ->
@@ -235,8 +246,11 @@ module Run (S : Spec.S) = struct
         snap_distinct = !distinct_total;
         snap_generated = !gen_prev;
         snap_max_depth = !max_depth_seen;
+        snap_kernel = Fingerprint.kernel_id;
         snap_visited =
-          (fun k -> Shard_set.iter visited (fun fp e -> k fp e.prov e.depth)) }
+          (fun k ->
+            Shard_set.iter visited (fun fp prov depth ->
+                k fp (prov_out prov) depth)) }
     in
     (* ---- layer-synchronous BFS ---- *)
     let abort = Atomic.make false in
@@ -290,13 +304,11 @@ module Run (S : Spec.S) = struct
                      (fun j (event, state') ->
                        incr gen;
                        let fp' = fingerprint ?probe:wp opts scenario state' in
-                       let e =
-                         { prov = Step { parent = fp; event };
-                           depth = d + 1;
-                           pos = (p, j);
-                           state = Some state' }
-                       in
-                       if Shard_set.merge visited fp' e ~keep:better then begin
+                       if
+                         Shard_set.merge visited fp'
+                           ~prov:(Shard_set.Pstep (fp, event))
+                           ~depth:(d + 1) ~pos:(p, j) ~state:state'
+                       then begin
                          incr ins;
                          my_inserted := fp' :: !my_inserted;
                          if opts.stop_on_violation then begin
@@ -355,7 +367,7 @@ module Run (S : Spec.S) = struct
              successor (p, j) of the same state *)
           let key = function
             | Dead (p, _) -> p, -1
-            | Broken (fp, _) -> (Shard_set.find visited fp).pos
+            | Broken (fp, _) -> Shard_set.find_pos visited fp
           in
           let best =
             Array.fold_left
@@ -377,8 +389,7 @@ module Run (S : Spec.S) = struct
             let before =
               List.length
                 (List.filter
-                   (fun fp ->
-                     compare (Shard_set.find visited fp).pos vpos <= 0)
+                   (fun fp -> compare (Shard_set.find_pos visited fp) vpos <= 0)
                    all_inserted)
             in
             distinct_total := !distinct_total + before;
@@ -402,19 +413,16 @@ module Run (S : Spec.S) = struct
             gen_prev := !gen_prev + layer_generated;
             if all_inserted <> [] then max_depth_seen := d + 1;
             (* the table entry won the (depth, pos) merge, so its state is
-               the one its provenance replays to — use it, then drop it *)
+               the one its provenance replays to — take it (which clears
+               the stored copy) and keep it only if it satisfies the
+               exploration constraint *)
             let next =
               List.filter_map
                 (fun fp ->
-                  let e = Shard_set.find visited fp in
-                  let kept =
-                    match e.state with
-                    | Some s when S.constraint_ok scenario s ->
-                      Some (e.pos, s, fp)
-                    | Some _ | None -> None
-                  in
-                  e.state <- None;
-                  kept)
+                  match Shard_set.take_state visited fp with
+                  | Some (pos, s) when S.constraint_ok scenario s ->
+                    Some (pos, s, fp)
+                  | Some _ | None -> None)
                 all_inserted
             in
             let next =
@@ -437,6 +445,19 @@ module Run (S : Spec.S) = struct
     let outcome =
       match !outcome with Some o -> o | None -> Explorer.Exhausted
     in
+    if Probe.is_on probe then begin
+      let n = Shard_set.length visited in
+      let bytes = Shard_set.store_bytes visited in
+      Probe.gauge probe "visited.entries" (float_of_int n);
+      Probe.gauge probe "visited.capacity"
+        (float_of_int (Shard_set.capacity visited));
+      Probe.gauge probe "visited.store_bytes" (float_of_int bytes);
+      if n > 0 then
+        Probe.gauge probe "visited.bytes_per_state"
+          (float_of_int bytes /. float_of_int n);
+      Probe.gauge probe "visited.probe_steps"
+        (float_of_int (Shard_set.probe_steps visited))
+    end;
     let worker_stats =
       Array.init workers (fun w ->
           { w_expanded = st_expanded.(w);

@@ -1,49 +1,91 @@
-(** A sharded, mutex-guarded concurrent fingerprint store.
+(** The parallel explorer's visited set: a sharded, mutex-guarded
+    fingerprint store in structure-of-arrays layout.
 
     The TLC analogue is the shared fingerprint set its BFS workers
-    deduplicate against. Fingerprints are partitioned across [N] independent
-    shards by their high bytes ({!Sandtable.Fingerprint.shard_key}), so
-    concurrent inserts contend only 1/N of the time; each shard is an
-    ordinary hashtable behind its own mutex. *)
+    deduplicate against. Fingerprints are partitioned across [N]
+    independent shards by their high bits
+    ({!Sandtable.Fingerprint.shard_key} — disjoint from the in-shard
+    bucket bits), so concurrent inserts contend only 1/N of the time. Each
+    shard is an open-addressed slot array (linear probing, load <= 3/4)
+    over dense [int] entry columns — fingerprint halves, packed
+    depth/provenance, parent fingerprint halves, packed discovery position
+    — behind its own mutex: no per-entry boxing, and nothing but the
+    layer-local concrete states for the GC to trace. Events are interned
+    per shard. The sequential analogue is [Sandtable.Fp_store]. *)
 
-type 'a t
+type prov =
+  | Proot of int  (** index into the init-state list *)
+  | Pstep of Sandtable.Fingerprint.t * Sandtable.Trace.event
+      (** parent fingerprint, discovering event. Cross-shard references are
+          by fingerprint, keeping shards fully independent. *)
+
+type 's t
+(** ['s] is the spec's concrete state type, held only for entries of the
+    layer currently being built (see {!merge} / {!take_state}). *)
 
 type stat = {
   s_entries : int;  (** distinct fingerprints stored in the shard *)
   s_hits : int;  (** dedup hits: inserts that found an existing entry *)
 }
 
-val create : ?shards:int -> unit -> 'a t
+val create : ?shards:int -> unit -> 's t
 (** [create ~shards ()] with [shards] rounded up to a power of two
     (default 64, max 65536). *)
 
-val shard_count : 'a t -> int
+val shard_count : 's t -> int
 
-val merge : 'a t -> Sandtable.Fingerprint.t -> 'a -> keep:('a -> 'a -> 'a) ->
-  bool
-(** [merge t fp v ~keep] atomically inserts [v] under [fp] and returns
-    [true], or — if [fp] is already present with value [old] — stores
-    [keep old v] and returns [false]. The parallel explorer uses [keep] to
-    retain the entry with the smallest (depth, trace-order) discovery
-    position, which makes counterexample traces match sequential BFS. *)
+val merge :
+  's t -> Sandtable.Fingerprint.t -> prov:prov -> depth:int ->
+  pos:int * int -> state:'s -> bool
+(** Atomically insert a layer candidate and return [true], or — if the
+    fingerprint is already present — return [false], replacing the stored
+    provenance, depth, position and state (together) iff the new
+    [(depth, pos)] is strictly smaller. Keeping the minimal discovery
+    position makes provenance chains, violation choice and early-stop
+    accounting coincide with sequential BFS regardless of worker count;
+    replacing state and provenance together keeps the stored state the one
+    the stored chain replays to (under symmetry reduction two distinct
+    concrete states can share a fingerprint). [pos = (p, j)] must satisfy
+    [0 <= j < 2{^31}]; depth must be [< 2{^20}]. *)
 
-val add_if_absent : 'a t -> Sandtable.Fingerprint.t -> 'a -> bool
-(** [merge] keeping the existing entry. *)
+val add_seed : 's t -> Sandtable.Fingerprint.t -> prov -> depth:int -> bool
+(** Insert if absent (the existing entry always wins), with no stored
+    state and position zero — for roots and checkpoint-resume seeding,
+    whose positions are never consulted again. *)
 
-val find_opt : 'a t -> Sandtable.Fingerprint.t -> 'a option
+val find_prov_opt : 's t -> Sandtable.Fingerprint.t -> prov option
+val find_prov : 's t -> Sandtable.Fingerprint.t -> prov
+(** Like {!find_prov_opt} but raises [Not_found] when absent. *)
 
-val find : 'a t -> Sandtable.Fingerprint.t -> 'a
-(** Like {!find_opt} but raises [Not_found] when absent. *)
+val find_pos : 's t -> Sandtable.Fingerprint.t -> int * int
+(** The stored discovery position. Raises [Not_found] when absent. *)
 
-val mem : 'a t -> Sandtable.Fingerprint.t -> bool
+val take_state : 's t -> Sandtable.Fingerprint.t -> ((int * int) * 's) option
+(** Return the entry's position and concrete state and clear the stored
+    state (bounding resident states to one layer); [None] if the
+    fingerprint is absent or its state was already taken. *)
 
-val length : 'a t -> int
+val mem : 's t -> Sandtable.Fingerprint.t -> bool
+
+val length : 's t -> int
 (** Total distinct fingerprints (locks each shard once). *)
 
-val iter : 'a t -> (Sandtable.Fingerprint.t -> 'a -> unit) -> unit
-(** Iterate every entry, shard by shard (each shard locked while its
-    entries are visited; [f] must not re-enter the set). Order is
-    arbitrary. Used for barrier-point checkpoint snapshots. *)
+val iter :
+  's t -> (Sandtable.Fingerprint.t -> prov -> int -> unit) -> unit
+(** Iterate every entry — fingerprint, provenance, depth — shard by shard
+    (each shard locked while its entries are visited; [f] must not
+    re-enter the set). Order is arbitrary. Used for barrier-point
+    checkpoint snapshots. *)
 
-val stats : 'a t -> stat array
-val pp_stats : Format.formatter -> 'a t -> unit
+val capacity : 's t -> int
+(** Total slot-array length across shards. *)
+
+val store_bytes : 's t -> int
+(** Exact bytes held by the slot arrays and entry columns across shards
+    (excluding interned events and layer-local states). *)
+
+val probe_steps : 's t -> int
+(** Cumulative linear-probe steps beyond the home slot across shards. *)
+
+val stats : 's t -> stat array
+val pp_stats : Format.formatter -> 's t -> unit

@@ -41,12 +41,8 @@ type stats = {
   ck_seconds : float;
 }
 
-let encode_fp b fp =
-  if String.length fp <> fp_width then
-    invalid_arg "Checkpoint: fingerprint is not 16 bytes";
-  Binio.fixed b fp
-
-let decode_fp src = Binio.read_fixed src fp_width
+let encode_fp b fp = Binio.fixed b (Fingerprint.to_raw fp)
+let decode_fp src = Fingerprint.of_raw (Binio.read_fixed src fp_width)
 
 let encode_prov b = function
   | Explorer.Root idx ->
@@ -98,7 +94,10 @@ let save ?probe ~dir ~identity (snap : Explorer.snapshot) =
           (Printf.sprintf
              "Checkpoint.save: snapshot promised %d visited entries, \
               iterator produced %d"
-             snap.snap_distinct !written));
+             snap.snap_distinct !written);
+      (* trailing fingerprint-kernel marker; files written before the
+         marker existed simply end here and load as kernel 0 (MD5) *)
+      Binio.uint b snap.snap_kernel);
   let bytes = (Unix.stat path).Unix.st_size in
   Probe.span_end probe "checkpoint";
   Probe.count probe "checkpoint.saves" 1;
@@ -151,6 +150,11 @@ let load ~dir ~identity =
         let depth = Binio.read_uint src in
         (fp, prov, depth))
   in
+  (* files from before the kernel marker end right after the visited
+     entries; their fingerprints are MD5 digests (kernel 0) *)
+  let snap_kernel =
+    if Binio.remaining src = 0 then 0 else Binio.read_uint src
+  in
   if Binio.remaining src <> 0 then
     raise
       (Binio.Corrupt
@@ -161,6 +165,7 @@ let load ~dir ~identity =
     snap_distinct;
     snap_generated;
     snap_max_depth;
+    snap_kernel;
     snap_visited =
       (fun f -> Array.iter (fun (fp, prov, d) -> f fp prov d) visited) }
 

@@ -31,9 +31,25 @@ let write_chunk path (items : 'a array) =
     ~finally:(fun () -> close_out oc)
     (fun () -> Marshal.to_channel oc items [])
 
+(* A chunk file the engine wrote moments ago can still come back bad —
+   truncated by a full disk or a crashed run sharing [dir], or clobbered by
+   another process. [Marshal.from_channel] reports that as a bare
+   [End_of_file] or [Failure]; turn it into a [Binio.Corrupt] naming the
+   file so the CLI reports it like any other damaged on-disk artefact. *)
 let read_chunk path : 'a array =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Marshal.from_channel ic)
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try Marshal.from_channel ic with
+      | End_of_file ->
+        raise
+          (Binio.Corrupt
+             (Printf.sprintf "%s: spill chunk truncated (disk full?)" path))
+      | Failure msg ->
+        raise
+          (Binio.Corrupt
+             (Printf.sprintf "%s: spill chunk unreadable (%s)" path msg)))
 
 let make ?dir ?probe ~window stats_ref =
   let owns_dir, dir =

@@ -1,0 +1,235 @@
+(* The zero-copy fingerprint kernel and the SoA visited stores it feeds:
+   determinism, raw/hex codecs, hash distribution (full-word bucket hash,
+   shard-key independence), arena growth, and Fp_store semantics. *)
+
+open Sandtable
+
+let case name f = Alcotest.test_case name `Quick f
+
+let rand = Random.State.make [| 0x5a9d7ab1e |]
+let random_value () =
+  (Random.State.int rand 1_000_000,
+   Random.State.bits rand,
+   String.init (Random.State.int rand 24) (fun _ ->
+       Char.chr (Random.State.int rand 256)))
+
+let test_kernel_deterministic () =
+  for _ = 1 to 200 do
+    let v = random_value () in
+    Alcotest.(check bool) "same value, same fingerprint" true
+      (Fingerprint.equal (Fingerprint.of_state v) (Fingerprint.of_state v))
+  done;
+  (* the kernel must be a pure function of the bytes, not of arena history:
+     interleave small and large values *)
+  let big = String.make 100_000 'x' in
+  let small = (1, 2) in
+  let f1 = Fingerprint.of_state small in
+  let (_ : Fingerprint.t) = Fingerprint.of_state big in
+  Alcotest.(check bool) "stable across arena growth" true
+    (Fingerprint.equal f1 (Fingerprint.of_state small))
+
+let test_kernel_sensitivity () =
+  (* every prefix length crosses the 7-byte stride and tail boundaries *)
+  let base = String.init 64 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let fps =
+    List.init 65 (fun n -> Fingerprint.of_state (String.sub base 0 n))
+  in
+  let distinct =
+    List.sort_uniq Fingerprint.compare fps
+  in
+  Alcotest.(check int) "all lengths 0..64 distinct" 65 (List.length distinct);
+  (* single byte flips *)
+  let v = Bytes.of_string base in
+  let f0 = Fingerprint.of_state (Bytes.to_string v) in
+  for i = 0 to Bytes.length v - 1 do
+    let c = Bytes.get v i in
+    Bytes.set v i (Char.chr (Char.code c lxor 1));
+    let f1 = Fingerprint.of_state (Bytes.to_string v) in
+    Bytes.set v i c;
+    Alcotest.(check bool)
+      (Fmt.str "flip at byte %d changes fingerprint" i)
+      false (Fingerprint.equal f0 f1)
+  done
+
+let test_raw_hex_roundtrip () =
+  for _ = 1 to 1000 do
+    let fp = Fingerprint.of_state (random_value ()) in
+    let raw = Fingerprint.to_raw fp in
+    Alcotest.(check int) "raw width" 16 (String.length raw);
+    Alcotest.(check bool) "of_raw inverts to_raw" true
+      (Fingerprint.equal fp (Fingerprint.of_raw raw));
+    Alcotest.(check int) "hex width" 32 (String.length (Fingerprint.to_hex fp));
+    let fp' = Fingerprint.of_parts ~hi:fp.Fingerprint.hi ~lo:fp.Fingerprint.lo in
+    Alcotest.(check bool) "of_parts rebuilds" true (Fingerprint.equal fp fp')
+  done;
+  (* foreign 128-bit digests (legacy MD5 checkpoints): of_raw is total and
+     idempotent after the first bit-63 masking *)
+  for _ = 1 to 1000 do
+    let s =
+      String.init 16 (fun _ -> Char.chr (Random.State.int rand 256))
+    in
+    let fp = Fingerprint.of_raw s in
+    Alcotest.(check bool) "masking is idempotent" true
+      (Fingerprint.equal fp (Fingerprint.of_raw (Fingerprint.to_raw fp)))
+  done
+
+let test_cross_domain_stable () =
+  (* the marshal arena is domain-local; the fingerprint must not be *)
+  let v = random_value () in
+  let here = Fingerprint.of_state v in
+  let there = Domain.join (Domain.spawn (fun () -> Fingerprint.of_state v)) in
+  Alcotest.(check bool) "same fingerprint from another domain" true
+    (Fingerprint.equal here there)
+
+let samples = 25_600
+
+let histogram_check label buckets key =
+  let counts = Array.make buckets 0 in
+  for i = 0 to samples - 1 do
+    let fp = Fingerprint.of_state (i, i * 31, "dist") in
+    let k = key fp in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let mean = samples / buckets in
+  Array.iteri
+    (fun b c ->
+      if c < mean / 2 || c > mean * 2 then
+        Alcotest.failf "%s: bucket %d holds %d of %d (mean %d)" label b c
+          samples mean)
+    counts
+
+let test_bucket_hash_distribution () =
+  (* the bucket hash must spread in its low bits (open addressing probes
+     with them) AND high bits (a widened hash that only mixed low bits
+     would pass the first check) *)
+  histogram_check "low 8 bits" 256 (fun fp ->
+      Fingerprint.bucket_hash fp land 255);
+  histogram_check "bits 40-47" 256 (fun fp ->
+      (Fingerprint.bucket_hash fp lsr 40) land 255);
+  Alcotest.(check bool) "non-negative" true
+    (List.for_all
+       (fun i -> Fingerprint.bucket_hash (Fingerprint.of_state i) >= 0)
+       (List.init 1000 Fun.id))
+
+let test_shard_key_independent () =
+  histogram_check "shard key" 64 (fun fp -> Fingerprint.shard_key fp ~mask:63);
+  (* within one shard, the bucket hash's low bits must still spread —
+     otherwise per-shard tables would degenerate into probe chains *)
+  let low_buckets = Hashtbl.create 64 in
+  let n = ref 0 in
+  let i = ref 0 in
+  while !n < 400 do
+    let fp = Fingerprint.of_state (!i, "pinned") in
+    if Fingerprint.shard_key fp ~mask:63 = 0 then begin
+      incr n;
+      Hashtbl.replace low_buckets (Fingerprint.bucket_hash fp land 63) ()
+    end;
+    incr i
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "one shard's fps hit %d/64 low buckets"
+       (Hashtbl.length low_buckets))
+    true
+    (Hashtbl.length low_buckets >= 48)
+
+let test_marshalled_bytes_counts () =
+  let b0 = Fingerprint.marshalled_bytes () in
+  let (_ : Fingerprint.t) = Fingerprint.of_state (String.make 1000 'a') in
+  let b1 = Fingerprint.marshalled_bytes () in
+  Alcotest.(check bool) "counter advances by at least the payload" true
+    (b1 - b0 >= 1000)
+
+(* ---- Fp_store ---------------------------------------------------------- *)
+
+let ev n = Trace.Timeout { node = n; kind = "t" }
+
+let test_fp_store_basics () =
+  let s = Fp_store.create ~capacity:16 () in
+  let fps = Array.init 1000 (fun i -> Fingerprint.of_state (i, "store")) in
+  Array.iteri
+    (fun i fp ->
+      let prov =
+        if i = 0 then Fp_store.Proot 0 else Fp_store.Pstep (i - 1, ev (i mod 7))
+      in
+      match Fp_store.add s fp prov ~depth:(i mod 100) with
+      | Fp_store.Fresh e -> Alcotest.(check int) "dense index" i e
+      | Fp_store.Dup _ -> Alcotest.failf "fresh fingerprint %d reported dup" i)
+    fps;
+  Alcotest.(check int) "length" 1000 (Fp_store.length s);
+  Alcotest.(check bool) "slots grew past initial capacity" true
+    (Fp_store.capacity s >= 2048);
+  Array.iteri
+    (fun i fp ->
+      (match Fp_store.find s fp with
+      | Some e -> Alcotest.(check int) "find" i e
+      | None -> Alcotest.failf "fingerprint %d lost" i);
+      match Fp_store.add s fp (Fp_store.Proot 9) ~depth:0 with
+      | Fp_store.Dup e ->
+        Alcotest.(check int) "dup keeps index" i e;
+        (* a duplicate insert must not disturb the stored entry *)
+        Alcotest.(check int) "depth kept" (i mod 100) (Fp_store.depth s i)
+      | Fp_store.Fresh _ -> Alcotest.fail "duplicate reported fresh")
+    fps;
+  (* provenance round-trips, with events interned structurally *)
+  (match Fp_store.prov s 500 with
+  | Fp_store.Pstep (p, e) ->
+    Alcotest.(check int) "pred" 499 p;
+    Alcotest.(check bool) "event" true (Trace.equal_event e (ev (500 mod 7)))
+  | Fp_store.Proot _ -> Alcotest.fail "expected step");
+  (match Fp_store.prov s 0 with
+  | Fp_store.Proot 0 -> ()
+  | _ -> Alcotest.fail "expected root 0");
+  (* iteration is insertion order *)
+  let seen = ref 0 in
+  Fp_store.iter s (fun e fp _ _ ->
+      Alcotest.(check int) "iter order" !seen e;
+      Alcotest.(check bool) "iter fp" true (Fingerprint.equal fp fps.(e));
+      incr seen);
+  Alcotest.(check int) "iterated all" 1000 !seen;
+  Alcotest.(check bool) "store_bytes accounted" true
+    (Fp_store.store_bytes s
+    >= (Fp_store.capacity s + (4 * Fp_store.length s)) * (Sys.word_size / 8))
+
+let test_fp_store_pending () =
+  let s = Fp_store.create () in
+  let child = Fingerprint.of_state "child" in
+  let parent = Fingerprint.of_state "parent" in
+  (* child arrives first (checkpoints iterate in hash order, not
+     topological order) *)
+  let c =
+    match Fp_store.add_pending_step s child (ev 1) ~depth:3 with
+    | Fp_store.Fresh e -> e
+    | Fp_store.Dup _ -> Alcotest.fail "fresh expected"
+  in
+  let p =
+    match Fp_store.add s parent (Fp_store.Proot 0) ~depth:2 with
+    | Fp_store.Fresh e -> e
+    | Fp_store.Dup _ -> Alcotest.fail "fresh expected"
+  in
+  Fp_store.set_pred s c p;
+  (match Fp_store.prov s c with
+  | Fp_store.Pstep (pred, e) ->
+    Alcotest.(check int) "patched pred" p pred;
+    Alcotest.(check bool) "event kept" true (Trace.equal_event e (ev 1))
+  | Fp_store.Proot _ -> Alcotest.fail "expected step");
+  (* set_pred must refuse to clobber resolved provenance *)
+  (match Fp_store.set_pred s p 0 with
+  | () -> Alcotest.fail "set_pred on a resolved entry must raise"
+  | exception Invalid_argument _ -> ());
+  match Fp_store.add s (Fingerprint.of_state "deep") (Fp_store.Proot 0)
+          ~depth:(1 lsl 20)
+  with
+  | _ -> Alcotest.fail "depth over 2^20 must raise"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  ( "fingerprint",
+    [ case "kernel deterministic" test_kernel_deterministic;
+      case "kernel sensitivity" test_kernel_sensitivity;
+      case "raw/hex round-trips" test_raw_hex_roundtrip;
+      case "cross-domain stable" test_cross_domain_stable;
+      case "bucket hash distribution" test_bucket_hash_distribution;
+      case "shard key independent of bucket bits" test_shard_key_independent;
+      case "marshalled-bytes counter" test_marshalled_bytes_counts;
+      case "fp_store basics" test_fp_store_basics;
+      case "fp_store pending provenance" test_fp_store_pending ] )

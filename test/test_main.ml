@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "sandtable"
-    [ Test_value.suite;
+    [ Test_fp.suite;
+      Test_value.suite;
       Test_log.suite;
       Test_codec.suite;
       Test_spec_net.suite;

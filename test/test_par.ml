@@ -132,6 +132,63 @@ let test_buggy_system_equivalence () =
       | _ -> Alcotest.fail "parallel run must violate")
     worker_counts
 
+let trace_bytes events =
+  let b = Binio.sink () in
+  List.iter (Trace.encode_event b) events;
+  Binio.contents b
+
+let test_registry_sweep_equivalence () =
+  (* every integrated system, clean spec, shallow layer-aligned budget:
+     the two engines must agree exactly on (distinct, generated, max_depth)
+     at every worker count. max_depth stops at a layer boundary, so even
+     these budget-stopped counters are deterministic. *)
+  let module R = Systems.Registry in
+  List.iter
+    (fun (sys : R.t) ->
+      let spec = sys.spec (Systems.Bug.flags []) in
+      let opts = { Explorer.default with max_depth = Some 2 } in
+      let seq = Explorer.check spec sys.table3_scenario opts in
+      Alcotest.(check bool)
+        (sys.name ^ " explores something") true (seq.generated > 0);
+      List.iter
+        (fun workers ->
+          let par =
+            Par.Par_explorer.check ~workers spec sys.table3_scenario opts
+          in
+          check_counters (Fmt.str "%s workers=%d" sys.name workers) seq par)
+        worker_counts)
+    R.all
+
+let test_violation_trace_bytes_equal () =
+  (* the counterexample must agree down to its serialized bytes — the
+     strongest cross-engine equivalence we can assert, and what replay
+     scripts and the shrinker consume *)
+  let module R = Systems.Registry in
+  let sys = R.find "daosraft" in
+  let info =
+    List.find (fun (b : Systems.Bug.info) -> b.flags = [ "daos1" ]) sys.bugs
+  in
+  let spec = sys.spec (Systems.Bug.flags info.flags) in
+  let opts = { Explorer.default with time_budget = Some 120. } in
+  let seq = Explorer.check spec info.scenario opts in
+  let sv =
+    match seq.outcome with
+    | Explorer.Violation v -> v
+    | _ -> Alcotest.fail "sequential run must violate"
+  in
+  List.iter
+    (fun workers ->
+      let par = Par.Par_explorer.check ~workers spec info.scenario opts in
+      match par.base.outcome with
+      | Explorer.Violation pv ->
+        Alcotest.(check string)
+          (Fmt.str "trace bytes workers=%d" workers)
+          (Digest.to_hex (Digest.string (trace_bytes sv.events)))
+          (Digest.to_hex (Digest.string (trace_bytes pv.events)));
+        check_counters (Fmt.str "counters workers=%d" workers) seq par
+      | _ -> Alcotest.fail "parallel run must violate")
+    worker_counts
+
 let test_symmetry_collision_provenance () =
   (* regression: under symmetry reduction, distinct concrete states collide
      on one canonical fingerprint within a layer; the frontier must carry
@@ -220,7 +277,9 @@ let test_shard_set_concurrent () =
           Array.iteri
             (fun i fp ->
               if i mod 4 = w then
-                ignore (Par.Shard_set.add_if_absent set fp i))
+                ignore
+                  (Par.Shard_set.add_seed set fp (Par.Shard_set.Proot i)
+                     ~depth:0))
             fps));
   Alcotest.(check int) "distinct" 250 (Par.Shard_set.length set);
   let stats = Par.Shard_set.stats set in
@@ -228,18 +287,44 @@ let test_shard_set_concurrent () =
   let entries =
     Array.fold_left (fun n (s : Par.Shard_set.stat) -> n + s.s_entries) 0 stats
   in
-  Alcotest.(check int) "stat entries" 250 entries
+  Alcotest.(check int) "stat entries" 250 entries;
+  (* every fingerprint is present and kept its first-inserted provenance *)
+  Array.iter
+    (fun fp -> Alcotest.(check bool) "mem" true (Par.Shard_set.mem set fp))
+    fps
 
 let test_shard_set_merge_keeps_min () =
-  let set : int Par.Shard_set.t = Par.Shard_set.create ~shards:4 () in
+  let set : string Par.Shard_set.t = Par.Shard_set.create ~shards:4 () in
   let fp = Fingerprint.of_state "x" in
+  let parent = Fingerprint.of_state "parent" in
+  let step n =
+    Par.Shard_set.Pstep (parent, Trace.Timeout { node = n; kind = "t" })
+  in
   Alcotest.(check bool) "first insert" true
-    (Par.Shard_set.merge set fp 9 ~keep:min);
+    (Par.Shard_set.merge set fp ~prov:(step 9) ~depth:2 ~pos:(1, 0)
+       ~state:"late");
+  (* same depth, smaller pos: replaces prov, pos and state together *)
   Alcotest.(check bool) "second insert dedups" false
-    (Par.Shard_set.merge set fp 3 ~keep:min);
-  Alcotest.(check bool) "larger value ignored" false
-    (Par.Shard_set.merge set fp 7 ~keep:min);
-  Alcotest.(check int) "minimum kept" 3 (Par.Shard_set.find set fp)
+    (Par.Shard_set.merge set fp ~prov:(step 3) ~depth:2 ~pos:(0, 1)
+       ~state:"early");
+  (* larger pos: existing minimal entry is retained *)
+  Alcotest.(check bool) "larger pos ignored" false
+    (Par.Shard_set.merge set fp ~prov:(step 7) ~depth:2 ~pos:(0, 2)
+       ~state:"later");
+  (match Par.Shard_set.find_prov set fp with
+  | Par.Shard_set.Pstep (p, Trace.Timeout { node; _ }) ->
+    Alcotest.(check bool) "parent kept" true (Fingerprint.equal p parent);
+    Alcotest.(check int) "minimal event kept" 3 node
+  | _ -> Alcotest.fail "expected a step provenance");
+  Alcotest.(check (pair (pair int int) string))
+    "minimal pos and its state kept" ((0, 1), "early")
+    (match Par.Shard_set.take_state set fp with
+    | Some r -> r
+    | None -> Alcotest.fail "state missing");
+  Alcotest.(check bool) "state taken at most once" true
+    (Par.Shard_set.take_state set fp = None);
+  Alcotest.(check (pair int int)) "pos still readable" (0, 1)
+    (Par.Shard_set.find_pos set fp)
 
 let test_pool_runs_all_workers () =
   let hits = Array.make 4 0 in
@@ -282,6 +367,10 @@ let suite =
       case "toy deadlock equivalence" test_toy_deadlock_equivalence;
       case "depth budget equivalence" test_toy_depth_budget_equivalence;
       case "buggy registry system equivalence" test_buggy_system_equivalence;
+      case "registry-wide sweep equivalence (1/2/4 workers)"
+        test_registry_sweep_equivalence;
+      case "violation trace bytes identical across engines"
+        test_violation_trace_bytes_equal;
       case "symmetry-collision provenance stays replayable"
         test_symmetry_collision_provenance;
       case "simulation is seed-stable across worker counts"

@@ -366,7 +366,10 @@ let test_checkpoint_roundtrip () =
       Alcotest.(check int) "generated" snap.snap_generated snap'.snap_generated;
       Alcotest.(check int) "max_depth" snap.snap_max_depth snap'.snap_max_depth;
       Alcotest.(check (list string))
-        "frontier order" snap.snap_frontier snap'.snap_frontier;
+        "frontier order"
+        (List.map Fingerprint.to_hex snap.snap_frontier)
+        (List.map Fingerprint.to_hex snap'.snap_frontier);
+      Alcotest.(check int) "kernel" Fingerprint.kernel_id snap'.snap_kernel;
       Alcotest.(check bool)
         "visited set" true
         (visited_list snap = visited_list snap'))
@@ -508,7 +511,180 @@ let test_resume_exhaustive () =
         (full.distinct, full.generated, full.max_depth)
         (resumed.distinct, resumed.generated, resumed.max_depth))
 
+(* ---- fingerprint-kernel migration ------------------------------------- *)
+
+(* An injective stand-in for the old MD5 kernel: digest the real
+   fingerprint's raw bytes. The migration path treats legacy fingerprints
+   as opaque keys, so any injective scrambling exercises it faithfully. *)
+let scramble fp = Fingerprint.of_raw (Digest.string (Fingerprint.to_raw fp))
+
+let legacy_snapshot (snap : Explorer.snapshot) : Explorer.snapshot =
+  let entries = ref [] in
+  snap.snap_visited (fun fp prov d -> entries := (fp, prov, d) :: !entries);
+  let entries = List.rev !entries in
+  { snap with
+    snap_kernel = 0;
+    snap_frontier = List.map scramble snap.snap_frontier;
+    snap_visited =
+      (fun k ->
+        List.iter
+          (fun (fp, prov, d) ->
+            let prov =
+              match prov with
+              | Explorer.Root _ as p -> p
+              | Explorer.Step { parent; event } ->
+                Explorer.Step { parent = scramble parent; event }
+            in
+            k (scramble fp) prov d)
+          entries) }
+
+let test_resume_migrates_legacy_kernel () =
+  (* a kernel-0 checkpoint (foreign fingerprints throughout) must resume
+     bit-for-bit on both engines: load detects the kernel mismatch and
+     rebuilds every fingerprint by provenance replay *)
+  let spec = Toy_spec.spec ~limit:4 () in
+  let scenario = Toy_spec.scenario ~nodes:3 ~timeouts:8 in
+  let full = Explorer.check spec scenario toy_opts in
+  let identity = Store.Checkpoint.identity spec scenario toy_opts in
+  with_tmpdir (fun dir ->
+      snap_ref := None;
+      let (_ : Explorer.result) =
+        Explorer.check spec scenario
+          { toy_opts with
+            max_depth = Some 2; on_layer = Some grab_snapshot }
+      in
+      let (_ : Store.Checkpoint.stats) =
+        Store.Checkpoint.save ~dir ~identity
+          (legacy_snapshot (Option.get !snap_ref))
+      in
+      let snap = Store.Checkpoint.load ~dir ~identity in
+      Alcotest.(check int) "legacy kernel tag survives save/load" 0
+        snap.snap_kernel;
+      List.iter
+        (fun workers ->
+          let resumed =
+            if workers = 1 then
+              Explorer.check ~resume:snap spec scenario toy_opts
+            else
+              (Par.Par_explorer.check ~workers ~resume:snap spec scenario
+                 toy_opts)
+                .base
+          in
+          check_violation_equal
+            (Fmt.str "legacy ckpt, resume j%d" workers)
+            full resumed)
+        [ 1; 2 ])
+
+let test_migrate_snapshot_is_native () =
+  (* migrating then snapshotting must yield exactly the current-kernel
+     fingerprints — compare against an untouched snapshot of the same run *)
+  let spec = Toy_spec.spec () in
+  let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:5 in
+  snap_ref := None;
+  let (_ : Explorer.result) =
+    Explorer.check spec scenario
+      { toy_opts with max_depth = Some 3; on_layer = Some grab_snapshot }
+  in
+  let native = Option.get !snap_ref in
+  let migrated =
+    Explorer.migrate_snapshot spec scenario toy_opts (legacy_snapshot native)
+  in
+  Alcotest.(check int) "kernel" Fingerprint.kernel_id migrated.snap_kernel;
+  Alcotest.(check (list string))
+    "frontier"
+    (List.map Fingerprint.to_hex native.snap_frontier)
+    (List.map Fingerprint.to_hex migrated.snap_frontier);
+  Alcotest.(check bool)
+    "visited set" true
+    (visited_list native = visited_list migrated)
+
+let test_load_pre_kernel_checkpoint () =
+  (* a checkpoint written before the kernel marker existed — the payload
+     simply ends after the visited entries — must still load (as kernel 0)
+     and resume. Written byte-by-byte here exactly as the old code did. *)
+  let spec = Toy_spec.spec () in
+  let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:5 in
+  let full = Explorer.check spec scenario toy_opts in
+  let identity = Store.Checkpoint.identity spec scenario toy_opts in
+  snap_ref := None;
+  let (_ : Explorer.result) =
+    Explorer.check spec scenario
+      { toy_opts with max_depth = Some 3; on_layer = Some grab_snapshot }
+  in
+  let snap = Option.get !snap_ref in
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir Store.Checkpoint.file in
+      Binio.write_file path ~kind:2 (fun b ->
+          Binio.str b identity;
+          Binio.uint b snap.snap_depth;
+          Binio.uint b snap.snap_distinct;
+          Binio.uint b snap.snap_generated;
+          Binio.uint b snap.snap_max_depth;
+          Binio.uint b (List.length snap.snap_frontier);
+          List.iter (fun fp -> Binio.fixed b (Fingerprint.to_raw fp))
+            snap.snap_frontier;
+          Binio.uint b snap.snap_distinct;
+          snap.snap_visited (fun fp prov depth ->
+              Binio.fixed b (Fingerprint.to_raw fp);
+              (match prov with
+              | Explorer.Root idx ->
+                Binio.u8 b 0;
+                Binio.uint b idx
+              | Explorer.Step { parent; event } ->
+                Binio.u8 b 1;
+                Binio.fixed b (Fingerprint.to_raw parent);
+                Trace.encode_event b event);
+              Binio.uint b depth));
+      let snap' = Store.Checkpoint.load ~dir ~identity in
+      Alcotest.(check int) "pre-marker file loads as kernel 0" 0
+        snap'.snap_kernel;
+      Alcotest.(check bool) "visited intact" true
+        (visited_list snap = visited_list snap');
+      let resumed = Explorer.check ~resume:snap' spec scenario toy_opts in
+      Alcotest.(check (triple int int int))
+        "resume equivalent"
+        (full.distinct, full.generated, full.max_depth)
+        (resumed.distinct, resumed.generated, resumed.max_depth))
+
 (* ---- spilled frontier ------------------------------------------------- *)
+
+let test_spill_chunk_corruption () =
+  (* a truncated or clobbered chunk file must surface as Binio.Corrupt
+     naming the file, not a bare End_of_file/Failure from Marshal *)
+  let exercise label damage needle =
+    with_tmpdir (fun dir ->
+        let factory = Store.Spill.factory ~dir ~window:2 () in
+        let q = factory.Explorer.make_frontier () in
+        for i = 1 to 40 do
+          q.Explorer.fr_push i
+        done;
+        let chunk =
+          match
+            List.find_opt
+              (fun f -> Filename.check_suffix f ".spill")
+              (Array.to_list (Sys.readdir dir))
+          with
+          | Some f -> Filename.concat dir f
+          | None -> Alcotest.fail "no chunk file spilled"
+        in
+        damage chunk;
+        expect_corrupt label needle (fun () ->
+            let rec drain () =
+              match q.Explorer.fr_pop () with
+              | Some _ -> drain ()
+              | None -> ()
+            in
+            drain ());
+        q.Explorer.fr_close ())
+  in
+  exercise "truncated chunk"
+    (fun chunk ->
+      let raw = read_raw chunk in
+      rewrite chunk (String.sub raw 0 (String.length raw / 2)))
+    "spill chunk";
+  exercise "clobbered chunk"
+    (fun chunk -> rewrite chunk "not a marshalled array at all")
+    "spill chunk"
 
 let test_spill_equivalence () =
   let spec = Toy_spec.spec () in
@@ -727,6 +903,12 @@ let suite =
       case "checkpoint corruption rejected" test_checkpoint_corrupted;
       case "kill and resume, all engines" test_kill_and_resume;
       case "resume to exhaustion" test_resume_exhaustive;
+      case "legacy-kernel checkpoint resumes bit-for-bit"
+        test_resume_migrates_legacy_kernel;
+      case "migrated snapshot equals native" test_migrate_snapshot_is_native;
+      case "pre-kernel-marker checkpoint loads" test_load_pre_kernel_checkpoint;
+      case "spill chunk corruption surfaces as Corrupt"
+        test_spill_chunk_corruption;
       case "spilled frontier equivalence" test_spill_equivalence;
       case "spilled frontier violation" test_spill_violation_equivalence;
       case "spill robust to sharing breaks" test_spill_sharing_robust;
