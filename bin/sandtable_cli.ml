@@ -104,6 +104,16 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let faults_arg =
+  let doc =
+    "Fault schedule driving exploration: a schedule file (s-expression \
+     syntax), the name of one of the system's named schedules (see the \
+     faults command), or $(b,legacy) for the schedule encoding the \
+     scenario's flat fault budget. Compile errors exit 2."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "faults" ] ~docv:"SCHEDULE" ~doc)
+
 (* Observability is on exactly when some artefact asked for it; the probe
    is [None] otherwise, and every instrumentation hook in the engines
    compiles down to a no-op branch. *)
@@ -136,6 +146,59 @@ let with_system name bugs f =
       Fmt.epr "%s@." m;
       Store.Exit_code.usage
     | flags -> f sys flags)
+
+(* --- fault-schedule resolution ---------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --faults ARG: an existing schedule file, the literal "legacy" (encode
+   the scenario's flat budget), or one of the system's named schedules *)
+let resolve_schedule (sys : R.t) (scenario : Scenario.t) arg =
+  if Sys.file_exists arg && not (Sys.is_directory arg) then
+    match Faults.Schedule.parse (read_file arg) with
+    | Ok s -> Ok s
+    | Error m -> Error (Fmt.str "%s: %s" arg m)
+  else if String.equal arg "legacy" then
+    Ok (Faults.Schedule.of_budget scenario.budget)
+  else
+    match R.schedule_of sys arg with
+    | Some s -> Ok s
+    | None ->
+      Error
+        (Fmt.str
+           "unknown fault schedule %s for %s (named: %s; or pass a schedule \
+            file or \"legacy\")"
+           arg sys.name
+           (String.concat ", " (List.map fst sys.fault_schedules)))
+
+(* Resolve, compile onto the scenario and validate the result; schedule
+   problems are usage errors (exit 2), like any other bad argument. *)
+let with_faults ?probe (sys : R.t) (scenario : Scenario.t) arg f =
+  let validated scenario =
+    match Scenario.validate scenario with
+    | Ok () -> f scenario
+    | Error m ->
+      Fmt.epr "%s@." m;
+      Store.Exit_code.usage
+  in
+  match arg with
+  | None -> validated scenario
+  | Some arg -> (
+    Probe.span_begin probe "fault.compile";
+    let compiled =
+      Result.bind (resolve_schedule sys scenario arg) (fun sched ->
+          Faults.Compile.apply sched scenario)
+    in
+    Probe.span_end probe "fault.compile";
+    match compiled with
+    | Error m ->
+      Fmt.epr "--faults %s: %s@." arg m;
+      Store.Exit_code.usage
+    | Ok scenario -> validated scenario)
 
 (* --- check: specification-level model checking ----------------------- *)
 
@@ -190,14 +253,15 @@ let try_shrink ~workers ?probe spec scenario oracle events =
 
 let check_cmd =
   let run name bugs time nodes workers run_dir every resume spill_window
-      progress_every trace_out do_shrink =
+      progress_every trace_out do_shrink faults =
     with_system name bugs (fun sys flags ->
-        let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
         let spec = sys.spec flags in
-        Fmt.epr "model checking %s on %a@." sys.name Scenario.pp scenario;
         let obs = obs_run ~workers ?trace_out ?run_dir () in
         let probe = obs_probe obs in
+        with_faults ?probe sys (scenario_of sys nodes) faults
+        @@ fun scenario ->
+        Fmt.epr "model checking %s on %a@." sys.name Scenario.pp scenario;
         let progress_label = Fmt.str "check[%s/%s]" sys.name scenario.name in
         let progress =
           if progress_every > 0 then
@@ -304,6 +368,15 @@ let check_cmd =
                         ("nodes", string_of_int scenario.nodes);
                         ("spill_window", string_of_int spill_window);
                         ("checkpoint_every", string_of_int every) ]
+                in
+                (* the canonical schedule source rides in the manifest so
+                   resume and shrink replay the same fault plan *)
+                let m =
+                  { m with
+                    Store.Manifest.m_faults =
+                      Option.map
+                        (fun (p : Fault_plan.t) -> p.pl_src)
+                        scenario.faults }
                 in
                 Store.Manifest.save ~dir m;
                 m)
@@ -428,7 +501,8 @@ let check_cmd =
     Term.(
       const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg
       $ workers_arg $ run_dir_arg $ checkpoint_every_arg $ resume_arg
-      $ spill_window_arg $ progress_every_arg $ trace_out_arg $ shrink_arg)
+      $ spill_window_arg $ progress_every_arg $ trace_out_arg $ shrink_arg
+      $ faults_arg)
 
 (* --- runs: list recorded runs ----------------------------------------- *)
 
@@ -470,13 +544,14 @@ let walks_arg =
 
 let simulate_cmd =
   let run name bugs walks seed nodes workers progress_every trace_out
-      do_shrink =
+      do_shrink faults =
     with_system name bugs (fun sys flags ->
-        let scenario = scenario_of sys nodes in
         let workers = resolve_workers workers in
         let opts = { Simulate.default with max_depth = 60 } in
         let obs = obs_run ~workers ?trace_out () in
         let probe = obs_probe obs in
+        with_faults ?probe sys (scenario_of sys nodes) faults
+        @@ fun scenario ->
         let started = Unix.gettimeofday () in
         let progress =
           if progress_every > 0 then
@@ -528,7 +603,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ walks_arg $ seed_arg $ nodes_arg
-      $ workers_arg $ progress_every_arg $ trace_out_arg $ shrink_arg)
+      $ workers_arg $ progress_every_arg $ trace_out_arg $ shrink_arg
+      $ faults_arg)
 
 (* --- conform: conformance checking ------------------------------------ *)
 
@@ -537,14 +613,15 @@ let rounds_arg =
 
 let conform_cmd =
   let run name bugs rounds seed nodes workers progress_every trace_out
-      do_shrink =
+      do_shrink faults =
     with_system name bugs (fun sys flags ->
         let workers = resolve_workers workers in
-        let scenario = scenario_of sys nodes in
         (* the spec models the fixed protocol; flags select impl bugs *)
         let spec = sys.spec Bug.Flags.empty in
         let obs = obs_run ~workers ?trace_out () in
         let probe = obs_probe obs in
+        with_faults ?probe sys (scenario_of sys nodes) faults
+        @@ fun scenario ->
         let started = Unix.gettimeofday () in
         let progress =
           if progress_every > 0 then
@@ -620,7 +697,8 @@ let conform_cmd =
   Cmd.v (Cmd.info "conform" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ rounds_arg $ seed_arg $ nodes_arg
-      $ workers_arg $ progress_every_arg $ trace_out_arg $ shrink_arg)
+      $ workers_arg $ progress_every_arg $ trace_out_arg $ shrink_arg
+      $ faults_arg)
 
 (* --- shrink: minimize a recorded counterexample ----------------------- *)
 
@@ -669,6 +747,19 @@ let shrink_cmd =
     if not (String.equal scenario.name m.m_scenario) then
       Fmt.epr "note: shrinking under scenario %s (run recorded %s)@."
         scenario.name m.m_scenario;
+    (* v4 manifests carry the fault-schedule source: shrinking must replay
+       candidates under the same plan or fault events would be disabled *)
+    let* scenario =
+      match m.m_faults with
+      | None -> Ok scenario
+      | Some src -> (
+        match
+          Result.bind (Faults.Schedule.parse src) (fun sched ->
+              Faults.Compile.apply sched scenario)
+        with
+        | Ok sc -> Ok sc
+        | Error e -> fail "manifest fault schedule: %s" e)
+    in
     let* oracle =
       let violation_prefix = "violation: " in
       match m.m_outcome with
@@ -801,6 +892,66 @@ let rank_cmd =
   let doc = "Rank budget constraints per configuration (Algorithm 1)." in
   Cmd.v (Cmd.info "rank" ~doc ~exits) Term.(const run $ system_arg $ seed_arg)
 
+(* --- faults: list and inspect fault schedules ------------------------- *)
+
+let faults_cmd =
+  let system_opt_arg =
+    let doc = "Restrict to one system (omit to list every named schedule)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+  in
+  let list_for (sys : R.t) =
+    List.iter
+      (fun (n, sched) ->
+        Fmt.pr "%-10s %-18s %d phase%s@." sys.name n
+          (List.length sched.Faults.Schedule.phases)
+          (if List.length sched.Faults.Schedule.phases = 1 then "" else "s"))
+      sys.fault_schedules
+  in
+  let run name faults =
+    match name with
+    | None ->
+      List.iter list_for R.all;
+      Store.Exit_code.ok
+    | Some name ->
+      with_system name [] (fun sys _ ->
+          match faults with
+          | None ->
+            list_for sys;
+            Store.Exit_code.ok
+          | Some arg -> (
+            let scenario = sys.default_scenario in
+            match
+              Result.bind (resolve_schedule sys scenario arg) (fun sched ->
+                  Faults.Compile.apply sched scenario)
+            with
+            | Error m ->
+              Fmt.epr "--faults %s: %s@." arg m;
+              Store.Exit_code.usage
+            | Ok sc ->
+              let plan = Option.get sc.Scenario.faults in
+              if Fault_plan.is_noop plan then begin
+                Fmt.epr
+                  "--faults %s: schedule compiles to zero enabled fault \
+                   events@."
+                  arg;
+                Store.Exit_code.usage
+              end
+              else begin
+                Fmt.pr "%s" plan.Fault_plan.pl_src;
+                Fmt.pr "plan:   %a@." Fault_plan.pp plan;
+                Fmt.pr "budget: %a@." Scenario.pp_budget sc.budget;
+                Store.Exit_code.ok
+              end))
+  in
+  let doc =
+    "List named fault schedules, or compile one (--faults FILE|NAME|legacy) \
+     against a system's default scenario and print the canonical source, \
+     the lowered plan and the merged budget. A schedule that parses but \
+     enables no fault event is an error (exit 2)."
+  in
+  Cmd.v (Cmd.info "faults" ~doc ~exits)
+    Term.(const run $ system_opt_arg $ faults_arg)
+
 (* --- bugs / systems listings ------------------------------------------ *)
 
 let bugs_cmd =
@@ -846,4 +997,4 @@ let () =
     (Cmd.eval' ~term_err:Store.Exit_code.usage
        (Cmd.group info
           [ check_cmd; runs_cmd; stats_cmd; shrink_cmd; simulate_cmd;
-            conform_cmd; rank_cmd; bugs_cmd; systems_cmd ]))
+            conform_cmd; rank_cmd; faults_cmd; bugs_cmd; systems_cmd ]))

@@ -18,8 +18,10 @@ val zero : t
 val bump : t -> Trace.event -> t
 (** Increment the counter class of the event ([Deliver]/[Heal] are free). *)
 
-val within : t -> Scenario.budget -> bool
-(** All counters within their (present) bounds. *)
+val within : t -> (string * int) list -> bool
+(** All counters within their (present) budget bounds. Structurally
+    [Scenario.budget]; spelled out to keep this module below {!Scenario}
+    in the dependency order (fault plans sit between the two). *)
 
 val encode : Binio.sink -> t -> unit
 val decode : Binio.source -> t

@@ -8,6 +8,13 @@ type 'st ops = {
   restart : 'st -> int -> 'st;
   partition : 'st -> int list -> 'st;
   heal : 'st -> 'st;
+  leader : 'st -> int option;
+}
+
+type 'st net_ops = {
+  net_deliverable : 'st -> (int * int * int) list;
+  net_drop : 'st -> src:int -> dst:int -> index:int -> 'st option;
+  net_duplicate : 'st -> src:int -> dst:int -> index:int -> 'st option;
 }
 
 let proper_groups n =
@@ -21,7 +28,10 @@ let proper_groups n =
   |> List.filter (fun g -> List.length g < n - 1 || n = 1)
   |> List.map (fun g -> 0 :: g)
 
-let failure_events ops (scenario : Scenario.t) st =
+(* The pre-plan enumeration: flat per-key budgets, all nodes and groups.
+   Kept bit-for-bit identical — scenarios without a fault plan must explore
+   exactly the seed state space. *)
+let legacy_failure_events ops (scenario : Scenario.t) st =
   let budget key ~default = Scenario.budget_get scenario.budget key ~default in
   let counters = ops.counters st in
   let n = ops.node_count st in
@@ -51,3 +61,135 @@ let failure_events ops (scenario : Scenario.t) st =
       (proper_groups n);
   if not (ops.fully_connected st) then add Trace.Heal (ops.heal st);
   List.rev !out
+
+let group_key g = String.concat "," (List.map string_of_int g)
+
+(* Plan-driven enumeration. Mirrors the legacy event order (crashes asc,
+   restarts asc, partition groups, heal) with the active phase's selectors,
+   cumulative caps and sampling applied, so a plan that encodes exactly the
+   legacy budget reproduces the legacy state space. *)
+let plan_failure_events ops (plan : Fault_plan.t) st =
+  let counters = ops.counters st in
+  let ph = Fault_plan.active plan counters in
+  let leader = ops.leader st in
+  let n = ops.node_count st in
+  let out = ref [] in
+  let add event st' = out := (event, st') :: !out in
+  let bumped event = ops.with_counters st (Counters.bump counters event) in
+  let selected_nodes sel keep =
+    List.filter
+      (fun node -> keep node && Fault_plan.node_selected sel ~leader node)
+      (List.init n Fun.id)
+  in
+  (match ph.ph_crash with
+  | Some r when counters.crashes < r.r_cap ->
+    List.iter
+      (fun node ->
+        let event = Trace.Crash { node } in
+        add event (ops.crash (bumped event) node))
+      (Fault_plan.sample_select r.r_sample string_of_int
+         (selected_nodes r.r_sel (ops.alive st)))
+  | Some _ | None -> ());
+  (match ph.ph_restart with
+  | Some r when counters.restarts < r.r_cap ->
+    List.iter
+      (fun node ->
+        let event = Trace.Restart { node } in
+        add event (ops.restart (bumped event) node))
+      (Fault_plan.sample_select r.r_sample string_of_int
+         (selected_nodes r.r_sel (fun node -> not (ops.alive st node))))
+  | Some _ | None -> ());
+  (match ph.ph_partition with
+  | Some pr
+    when counters.partitions < pr.pr_cap && ops.fully_connected st && n > 1
+    ->
+    let groups =
+      match pr.pr_groups with
+      | Fault_plan.All_groups -> proper_groups n
+      | Fault_plan.Groups gs ->
+        List.filter (fun g -> List.for_all (fun i -> i < n) g) gs
+      | Fault_plan.Isolate_leader -> (
+        match leader with
+        | None -> []
+        | Some l ->
+          (* canonical representative of the {leader} | rest cut: the side
+             containing node 0 *)
+          if l = 0 then [ [ 0 ] ]
+          else [ List.filter (fun i -> i <> l) (List.init n Fun.id) ])
+    in
+    List.iter
+      (fun group ->
+        let event = Trace.Partition { group } in
+        add event (ops.partition (bumped event) group))
+      (Fault_plan.sample_select pr.pr_sample group_key groups)
+  | Some _ | None -> ());
+  (if not (ops.fully_connected st) then
+     match ph.ph_heal with
+     | Fault_plan.Heal_auto -> add Trace.Heal (ops.heal st)
+     | Fault_plan.Heal_never -> ()
+     | Fault_plan.Heal_after tg ->
+       if Fault_plan.trigger_met counters tg then add Trace.Heal (ops.heal st));
+  List.rev !out
+
+let failure_events ops (scenario : Scenario.t) st =
+  match scenario.faults with
+  | None -> legacy_failure_events ops scenario st
+  | Some plan -> plan_failure_events ops plan st
+
+let link_key (src, dst, index) = Printf.sprintf "%d>%d#%d" src dst index
+
+let packet_events ops net (scenario : Scenario.t) st =
+  let counters = ops.counters st in
+  let out = ref [] in
+  let faulted mk apply (src, dst, index) =
+    match apply st ~src ~dst ~index with
+    | None -> ()
+    | Some st' ->
+      let event = mk ~src ~dst ~index in
+      out := (event, ops.with_counters st' (Counters.bump counters event)) :: !out
+  in
+  let drop = faulted (fun ~src ~dst ~index -> Trace.Drop { src; dst; index }) net.net_drop in
+  let dup =
+    faulted
+      (fun ~src ~dst ~index -> Trace.Duplicate { src; dst; index })
+      net.net_duplicate
+  in
+  (match scenario.faults with
+  | None ->
+    let budget key ~default =
+      Scenario.budget_get scenario.budget key ~default
+    in
+    let deliverable = lazy (net.net_deliverable st) in
+    if counters.drops < budget "drops" ~default:0 then
+      List.iter drop (Lazy.force deliverable);
+    if counters.dups < budget "dups" ~default:0 then
+      List.iter dup (Lazy.force deliverable)
+  | Some plan ->
+    let ph = Fault_plan.active plan counters in
+    let leader = ops.leader st in
+    let candidates (lr : Fault_plan.link_rule) =
+      net.net_deliverable st
+      |> List.filter (fun (src, dst, _) ->
+             Fault_plan.node_selected lr.lr_src ~leader src
+             && Fault_plan.node_selected lr.lr_dst ~leader dst)
+      |> Fault_plan.sample_select lr.lr_sample link_key
+    in
+    (match ph.ph_drop with
+    | Some lr when counters.drops < lr.lr_cap ->
+      List.iter drop (candidates lr)
+    | Some _ | None -> ());
+    (match ph.ph_dup with
+    | Some lr when counters.dups < lr.lr_cap -> List.iter dup (candidates lr)
+    | Some _ | None -> ()));
+  List.rev !out
+
+let timeout_allowed ops (scenario : Scenario.t) st ~node =
+  match scenario.faults with
+  | None -> true
+  | Some plan -> (
+    let counters = ops.counters st in
+    match (Fault_plan.active plan counters).ph_timeout with
+    | None -> true
+    | Some r ->
+      counters.timeouts < r.r_cap
+      && Fault_plan.node_selected r.r_sel ~leader:(ops.leader st) node)

@@ -1,9 +1,19 @@
 (** Shared enumeration of environment transitions (node and network
     failures, §3.1 "Specifying environment actions").
 
-    Crash, restart, partition and heal events are identical across systems;
-    each specification plugs its state type in through a small record of
-    accessors and receives the budget-bounded event list. *)
+    Crash, restart, partition, heal and UDP packet-fault events are
+    identical across systems; each specification plugs its state type in
+    through a small record of accessors and receives the budget-bounded
+    event list.
+
+    When the scenario carries a compiled fault plan ({!Scenario.t.faults},
+    built by the [lib/faults] compiler), enumeration is driven by the
+    plan's active phase instead of the flat per-key budget: selectors
+    restrict which nodes/links/groups may fault, cumulative caps bound each
+    fault counter, heal modes gate recovery, and sampled rules keep a
+    seeded deterministic subset of an over-large candidate set. A plan that
+    encodes exactly the legacy budget reproduces the legacy state space
+    event-for-event. *)
 
 type 'st ops = {
   counters : 'st -> Counters.t;
@@ -15,12 +25,36 @@ type 'st ops = {
   restart : 'st -> int -> 'st;
   partition : 'st -> int list -> 'st;
   heal : 'st -> 'st;
+  leader : 'st -> int option;
+      (** the lowest-numbered live node currently acting as leader, if any;
+          resolves the [Leader]/[Followers]/[Isolate_leader] selectors of a
+          fault plan *)
 }
+
+type 'st net_ops = {
+  net_deliverable : 'st -> (int * int * int) list;
+      (** all [(src, dst, index)] in-flight packet choices *)
+  net_drop : 'st -> src:int -> dst:int -> index:int -> 'st option;
+  net_duplicate : 'st -> src:int -> dst:int -> index:int -> 'st option;
+}
+(** Packet-level accessors (UDP semantics) for {!packet_events}; both
+    return the state with the network updated but counters untouched. *)
 
 val proper_groups : int -> int list list
 (** Non-trivial partition groups containing node 0 — one canonical
     representative per two-sided cut. *)
 
 val failure_events : 'st ops -> Scenario.t -> 'st -> (Trace.event * 'st) list
-(** All enabled crash/restart/partition/heal transitions within budget, with
-    event counters bumped. *)
+(** All enabled crash/restart/partition/heal transitions within budget (or
+    within the scenario's fault plan), with event counters bumped. *)
+
+val packet_events :
+  'st ops -> 'st net_ops -> Scenario.t -> 'st -> (Trace.event * 'st) list
+(** All enabled UDP [Drop]/[Duplicate] transitions — drops first, then
+    duplicates, each in deliverable order — gated by the ["drops"]/["dups"]
+    budget or by the plan's active phase (link selectors, caps, sampling). *)
+
+val timeout_allowed : 'st ops -> Scenario.t -> 'st -> node:int -> bool
+(** Whether the scenario's fault plan permits [node] to fire a timeout at
+    this state ([true] when no plan or no timeout restriction applies); the
+    specification's own ["timeouts"] budget check still applies. *)

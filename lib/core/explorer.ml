@@ -444,6 +444,13 @@ module Run (S : Spec.S) = struct
             decr layer_remaining;
             if over_budget depth then raise (Stop Budget_spent);
             let successors = S.next scenario state in
+            if Probe.is_on probe && scenario.Scenario.faults <> None then
+              List.iter
+                (fun (event, _) ->
+                  match Fault_plan.obs_kind event with
+                  | Some name -> Probe.count probe name 1
+                  | None -> ())
+                successors;
             if successors = [] && opts.check_deadlock then begin
               let init_index, events = trace_of visited idx in
               ignore init_index;

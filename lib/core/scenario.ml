@@ -3,19 +3,58 @@ type budget = (string * int) list
 let budget_get b key ~default =
   match List.assoc_opt key b with Some v -> v | None -> default
 
-let double b = List.map (fun (k, v) -> k, v * 2) b
+(* Keys carrying schedule identity rather than a bound; never doubled, and
+   always accepted by [validate]. *)
+let identity_prefix = "faults."
+let is_identity_key k = String.starts_with ~prefix:identity_prefix k
+
+let valid_keys =
+  [ "timeouts"; "requests"; "crashes"; "restarts"; "partitions"; "buffer";
+    "drops"; "dups"; "epochs" ]
+
+let budget_errors b =
+  List.filter_map
+    (fun (k, v) ->
+      if not (List.mem k valid_keys || is_identity_key k) then
+        Some
+          (Printf.sprintf "unknown budget key %S (valid: %s)" k
+             (String.concat ", " valid_keys))
+      else if v < 0 then
+        Some (Printf.sprintf "budget key %S is negative (%d)" k v)
+      else None)
+    b
+
+let double b =
+  List.map (fun (k, v) -> (k, if is_identity_key k then v else v * 2)) b
 
 let pp_budget ppf b =
   let pp_bound ppf (k, v) = Fmt.pf ppf "%s=%d" k v in
   Fmt.(list ~sep:(any " ") pp_bound) ppf b
 
-type t = { name : string; nodes : int; workload : int list; budget : budget }
+type t = {
+  name : string;
+  nodes : int;
+  workload : int list;
+  budget : budget;
+  faults : Fault_plan.t option;
+}
 
-let v ?(name = "scenario") ~nodes ~workload budget =
+let v ?(name = "scenario") ?faults ~nodes ~workload budget =
   if nodes <= 0 then invalid_arg "Scenario.v: nodes must be positive";
-  { name; nodes; workload; budget }
+  { name; nodes; workload; budget; faults }
+
+let validate t =
+  match budget_errors t.budget with
+  | [] -> Ok ()
+  | errs ->
+    Error
+      (Printf.sprintf "scenario %s: %s" t.name (String.concat "; " errs))
 
 let pp ppf t =
-  Fmt.pf ppf "%s: %d nodes, workload {%a}, %a" t.name t.nodes
+  Fmt.pf ppf "%s: %d nodes, workload {%a}, %a%a" t.name t.nodes
     Fmt.(list ~sep:(any ",") int)
     t.workload pp_budget t.budget
+    (fun ppf -> function
+      | None -> ()
+      | Some plan -> Fmt.pf ppf ", faults %a" Fault_plan.pp plan)
+    t.faults

@@ -3,25 +3,58 @@
     A {e configuration} fixes the cluster shape (node count, workload values)
     used to instantiate a specification; a {e budget} bounds the state space
     (maximum numbers of timeouts, failures, client requests, message-buffer
-    sizes). SandTable ranks budgets per configuration with Algorithm 1. *)
+    sizes). SandTable ranks budgets per configuration with Algorithm 1.
+
+    A scenario may additionally carry a compiled {!Fault_plan.t}: a
+    declarative fault schedule (built by the [lib/faults] compiler) that
+    replaces the flat budget-driven fault enumeration of
+    {!Envgen.failure_events} with phase-structured, selector-restricted
+    fault injection. The plan travels inside the scenario so both engines
+    and both walk modes consume it unchanged. *)
 
 type budget = (string * int) list
 (** Named bounds. Standard keys used across the bundled systems:
     ["timeouts"], ["requests"], ["crashes"], ["restarts"], ["partitions"],
     ["buffer"] (max per-link message queue length), ["drops"], ["dups"],
-    ["epochs"]. Missing keys mean unbounded. *)
+    ["epochs"]. Missing keys mean unbounded. Keys prefixed ["faults."]
+    carry fault-schedule identity (not bounds): they survive {!double}
+    unchanged and are excluded from validation's closed key set. *)
 
 val budget_get : budget -> string -> default:int -> int
 
+val valid_keys : string list
+(** The closed set of recognised bound keys. *)
+
+val is_identity_key : string -> bool
+(** True for ["faults."]-prefixed schedule-identity keys. *)
+
 val double : budget -> budget
-(** Double every bound except ["buffer"]-independent identity keys — used by
-    Table 3 experiment #2 ("doubled the constraints"). *)
+(** Double every bound — used by Table 3 experiment #2 ("doubled the
+    constraints") — except the ["faults."]-prefixed identity keys, which
+    name a schedule rather than bound a counter. *)
 
 val pp_budget : Format.formatter -> budget -> unit
 
-type t = { name : string; nodes : int; workload : int list; budget : budget }
+type t = {
+  name : string;
+  nodes : int;
+  workload : int list;
+  budget : budget;
+  faults : Fault_plan.t option;
+}
 (** [workload] lists the distinct client values available (symmetry-reduced
-    workload values, §3.3: "two workload values"). *)
+    workload values, §3.3: "two workload values"). [faults], when present,
+    is a compiled fault schedule driving {!Envgen}. *)
 
-val v : ?name:string -> nodes:int -> workload:int list -> budget -> t
+val v :
+  ?name:string -> ?faults:Fault_plan.t -> nodes:int -> workload:int list ->
+  budget -> t
+
+val validate : t -> (unit, string) result
+(** Reject unknown (e.g. typo'd) or negative budget keys. Surfaced by the
+    CLI as exit 2: a misspelled key would otherwise silently mean
+    "unbounded". *)
+
 val pp : Format.formatter -> t -> unit
+(** Includes the fault-plan summary when one is attached, so checkpoint
+    identities built over the printed scenario cover the schedule. *)

@@ -2,6 +2,7 @@ type config = {
   nodes : int;
   semantics : Sandtable.Spec_net.semantics;
   timeouts : (string * int) list;
+  clock_skew_ms : (int * int) list;
   cost : Cost.profile;
   boot : Syscall.boot;
 }
@@ -49,7 +50,14 @@ let create cfg =
   let t =
     { cfg;
       proxy = Proxy.create ~nodes:cfg.nodes cfg.semantics;
-      clocks = Array.init cfg.nodes (fun _ -> Vclock.create ());
+      clocks =
+        (let clocks = Array.init cfg.nodes (fun _ -> Vclock.create ()) in
+         List.iter
+           (fun (node, ms) ->
+             if node >= 0 && node < cfg.nodes then
+               Vclock.advance_ms clocks.(node) ms)
+           cfg.clock_skew_ms;
+         clocks);
       logs = Array.init cfg.nodes (fun _ -> Log_parser.create ());
       persist = Array.init cfg.nodes (fun _ -> Hashtbl.create 16);
       handles = Array.make cfg.nodes None;

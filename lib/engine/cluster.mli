@@ -13,6 +13,9 @@ type config = {
   semantics : Sandtable.Spec_net.semantics;
   timeouts : (string * int) list;
       (** user-provided timeout durations (ms) per timeout kind (§3.2) *)
+  clock_skew_ms : (int * int) list;
+      (** [(node, ms)] initial virtual-clock offsets applied at boot —
+          fault-schedule clock perturbation (empty: synchronized clocks) *)
   cost : Cost.profile;
   boot : Syscall.boot;
 }

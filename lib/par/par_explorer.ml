@@ -298,6 +298,13 @@ module Run (S : Spec.S) = struct
                    incr expanded;
                    let succs = S.next scenario state in
                    succ_counts.(p) <- List.length succs;
+                   if Probe.is_on wp && scenario.Scenario.faults <> None then
+                     List.iter
+                       (fun (event, _) ->
+                         match Fault_plan.obs_kind event with
+                         | Some name -> Probe.count wp name 1
+                         | None -> ())
+                       succs;
                    if succs = [] && opts.check_deadlock then
                      my_cands := Dead (p, fp) :: !my_cands;
                    List.iteri

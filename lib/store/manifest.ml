@@ -35,9 +35,10 @@ type t = {
   m_trace : string option;
   m_metrics : metrics option;
   m_shrink : shrink option;
+  m_faults : string option;
 }
 
-let version = 3
+let version = 4
 let file = "manifest.json"
 
 let status_string = function
@@ -82,7 +83,8 @@ let make ~system ~scenario ~identity ~engine ~workers ~flags =
     m_checkpoint = None;
     m_trace = None;
     m_metrics = None;
-    m_shrink = None }
+    m_shrink = None;
+    m_faults = None }
 
 let to_json t =
   let open Sjson in
@@ -106,6 +108,9 @@ let to_json t =
       ("checkpoints", Num (float_of_int t.m_checkpoints));
       ("checkpoint", opt t.m_checkpoint);
       ("trace", opt t.m_trace) ]
+    @ (match t.m_faults with
+      | None -> []
+      | Some src -> [ ("faults", Sjson.Str src) ])
     @ (match t.m_metrics with
       | None -> []
       | Some m ->
@@ -220,7 +225,9 @@ let of_json j =
       m_checkpoint = opt_str "checkpoint";
       m_trace = opt_str "trace";
       m_metrics;
-      m_shrink }
+      m_shrink;
+      (* absent before v4 — older manifests load with [m_faults = None] *)
+      m_faults = opt_str "faults" }
 
 let save ~dir t =
   mkdir_p dir;

@@ -28,7 +28,7 @@ type shrink = {
     manifests, which load with the field [None]). *)
 
 type t = {
-  m_version : int;  (** manifest schema version, currently 3 *)
+  m_version : int;  (** manifest schema version, currently 4 *)
   m_system : string;
   m_scenario : string;
   m_identity : string;  (** identity digest ({!Checkpoint.digest_hex}) *)
@@ -49,6 +49,10 @@ type t = {
       (** [None] for uninstrumented runs and all v1 manifests (v1 files
           still load; the field is simply absent) *)
   m_shrink : shrink option;  (** [None] until a counterexample is shrunk *)
+  m_faults : string option;
+      (** canonical fault-schedule source (schema v4) when the run was
+          driven by one; lets resume and shrink replay the same schedule.
+          Absent in older manifests, which load with [None]. *)
 }
 
 val version : int

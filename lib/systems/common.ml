@@ -53,8 +53,16 @@ let observe_cluster cluster =
 
 let cluster_of_sut_config ?(timeouts = []) ?(cost = Engine.Cost.profile ())
     ~semantics ~boot (scenario : Sandtable.Scenario.t) =
+  (* clock perturbation from the fault schedule: skews flow from the plan
+     into the implementation-level virtual clocks at boot *)
+  let clock_skew_ms =
+    match scenario.faults with
+    | Some plan -> plan.Sandtable.Fault_plan.pl_skew_ms
+    | None -> []
+  in
   Engine.Cluster.create
-    { Engine.Cluster.nodes = scenario.nodes; semantics; timeouts; cost; boot }
+    { Engine.Cluster.nodes = scenario.nodes; semantics; timeouts;
+      clock_skew_ms; cost; boot }
 
 let sut ?timeouts ?cost ?(post = fun _ _ -> Ok ()) ~semantics ~boot scenario =
   let cluster =

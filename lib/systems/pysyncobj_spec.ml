@@ -453,6 +453,15 @@ end) : Sandtable.Spec.S with type state = state = struct
 
   (* --- transition enumeration --------------------------------------- *)
 
+  let current_leader st =
+    let rec find i =
+      if i >= Array.length st.nodes then None
+      else if st.nodes.(i).alive && st.nodes.(i).role = Types.Leader then
+        Some i
+      else find (i + 1)
+    in
+    find 0
+
   let env_ops : state Sandtable.Envgen.ops =
     { counters = (fun st -> st.counters);
       with_counters = (fun st counters -> { st with counters });
@@ -462,7 +471,8 @@ end) : Sandtable.Spec.S with type state = state = struct
       crash;
       restart;
       partition = (fun st group -> partition st group);
-      heal }
+      heal;
+      leader = current_leader }
 
   let next (scenario : Scenario.t) st =
     let budget key ~default =
@@ -486,7 +496,10 @@ end) : Sandtable.Spec.S with type state = state = struct
     if st.counters.timeouts < budget "timeouts" ~default:3 then
       Array.iteri
         (fun node ns ->
-          if ns.alive then begin
+          if
+            ns.alive
+            && Sandtable.Envgen.timeout_allowed env_ops scenario st ~node
+          then begin
             let counters =
               Counters.bump st.counters (Trace.Timeout { node; kind = "" })
             in

@@ -422,7 +422,30 @@ end) : Sandtable.Spec.S with type state = state = struct
                 if ns.alive then net else Net.disconnect_node net i)
               net st.nodes
           in
-          { st with net }) }
+          { st with net });
+      leader =
+        (fun st ->
+          let rec find i =
+            if i >= Array.length st.nodes then None
+            else if st.nodes.(i).alive && st.nodes.(i).role = Types.Leader
+            then Some i
+            else find (i + 1)
+          in
+          find 0) }
+
+  let net_ops : state Sandtable.Envgen.net_ops =
+    { net_deliverable =
+        (fun st ->
+          List.map (fun (src, dst, index, _msg) -> (src, dst, index))
+            (Net.deliverable st.net));
+      net_drop =
+        (fun st ~src ~dst ~index ->
+          Option.map (fun net -> { st with net })
+            (Net.drop st.net ~src ~dst ~index));
+      net_duplicate =
+        (fun st ~src ~dst ~index ->
+          Option.map (fun net -> { st with net })
+            (Net.duplicate st.net ~src ~dst ~index)) }
 
   let next (scenario : Scenario.t) st =
     let budget key ~default = Scenario.budget_get scenario.budget key ~default in
@@ -439,30 +462,16 @@ end) : Sandtable.Spec.S with type state = state = struct
               (Trace.Deliver { src; dst; index; desc = Msg.describe m })
               (handle_message { st with net } ~dst ~src m))
       deliverable;
-    if st.counters.drops < budget "drops" ~default:0 then
-      List.iter
-        (fun (src, dst, index, _msg) ->
-          match Net.drop st.net ~src ~dst ~index with
-          | None -> ()
-          | Some net ->
-            let event = Trace.Drop { src; dst; index } in
-            add event
-              { st with net; counters = Counters.bump st.counters event })
-        deliverable;
-    if st.counters.dups < budget "dups" ~default:0 then
-      List.iter
-        (fun (src, dst, index, _msg) ->
-          match Net.duplicate st.net ~src ~dst ~index with
-          | None -> ()
-          | Some net ->
-            let event = Trace.Duplicate { src; dst; index } in
-            add event
-              { st with net; counters = Counters.bump st.counters event })
-        deliverable;
+    List.iter
+      (fun (event, st') -> add event st')
+      (Sandtable.Envgen.packet_events env_ops net_ops scenario st);
     if st.counters.timeouts < budget "timeouts" ~default:3 then
       Array.iteri
         (fun node ns ->
-          if ns.alive then begin
+          if
+            ns.alive
+            && Sandtable.Envgen.timeout_allowed env_ops scenario st ~node
+          then begin
             let counters =
               Counters.bump st.counters (Trace.Timeout { node; kind = "" })
             in

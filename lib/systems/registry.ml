@@ -32,6 +32,7 @@ type t = {
   cost_profile : Engine.Cost.profile;
   bugs : Bug.info list;
   all_flags : string list;
+  fault_schedules : (string * Faults.Schedule.t) list;
   spec_file : string;
   paper : paper_row;
   paper_t4 : table4_row;
@@ -39,6 +40,71 @@ type t = {
 
 let scenario3 name budget =
   Sandtable.Scenario.v ~name ~nodes:3 ~workload:[ 1; 2 ] budget
+
+(* --- named fault schedules ---------------------------------------------
+   One per system, sized for its default cluster shape. Each exercises a
+   different corner of the schedule language; all are non-noop (checked by
+   the CI fault matrix). *)
+
+module Sched = Faults.Schedule
+
+(* let a leader emerge, wall it off without healing, then recover *)
+let leader_partition =
+  Sched.schedule "leader-partition"
+    [ Sched.phase ~until:(Sched.after "timeouts" 1) "quiet" [];
+      Sched.phase ~until:(Sched.after "partitions" 1) "split"
+        [ Sched.partition ~groups:Sched.Isolate_leader 1;
+          Sched.heal Sched.Never ];
+      Sched.phase "recover"
+        [ Sched.heal (Sched.After_trigger (Sched.after "timeouts" 3)) ] ]
+
+(* leader-sourced UDP loss plus a duplicated packet *)
+let packet_storm =
+  Sched.schedule "packet-storm"
+    [ Sched.phase "storm"
+        [ Sched.drop ~src:Sched.Leader 2; Sched.dup 1 ] ]
+
+(* repeated crash/restart churn, sampled to two candidate nodes per state *)
+let crash_storm =
+  Sched.schedule ~seed:5 "crash-storm"
+    [ Sched.phase ~until:(Sched.after "crashes" 2) "churn"
+        [ Sched.crash ~sample:2 2; Sched.restart 2 ];
+      Sched.phase "settle" [ Sched.restart 2 ] ]
+
+(* one partition with a counter-triggered heal window *)
+let partition_heal =
+  Sched.schedule "partition-heal"
+    [ Sched.phase "cut"
+        [ Sched.partition 1;
+          Sched.heal (Sched.After_trigger (Sched.after "timeouts" 2)) ] ]
+
+(* follower-directed duplication flood with a single drop *)
+let dup_flood =
+  Sched.schedule "dup-flood"
+    [ Sched.phase "flood"
+        [ Sched.dup ~dst:Sched.Followers 2; Sched.drop 1 ] ]
+
+(* kill whoever leads, then allow it back *)
+let leader_crash =
+  Sched.schedule "leader-crash"
+    [ Sched.phase ~until:(Sched.after "crashes" 1) "kill"
+        [ Sched.crash ~sel:Sched.Leader 1 ];
+      Sched.phase "return" [ Sched.restart ~sel:(Sched.Picked [ 0; 1; 2 ]) 1 ] ]
+
+(* skewed virtual clocks plus an explicit two-sided cut *)
+let skewed_clock =
+  Sched.schedule ~skew:[ 1, 40; 2, 80 ] "skewed-clock"
+    [ Sched.phase "skewed"
+        [ Sched.partition ~groups:(Sched.Explicit [ [ 0; 1 ] ]) 1 ] ]
+
+(* majority/minority split that never heals on its own *)
+let split_brain =
+  Sched.schedule "split-brain"
+    [ Sched.phase ~until:(Sched.after "partitions" 1) "cut"
+        [ Sched.partition ~groups:(Sched.Explicit [ [ 0; 1 ] ]) 1;
+          Sched.heal Sched.Never ];
+      Sched.phase "stuck"
+        [ Sched.heal (Sched.After_trigger (Sched.after "timeouts" 3)) ] ]
 
 (* Experiment #1 budgets (§5.2): timeouts and buffers reduced to 3–4 so the
    space is exhaustible within the harness' time budget. *)
@@ -65,6 +131,7 @@ let pysyncobj =
     cost_profile = Pysyncobj.cost_profile;
     bugs = Pysyncobj.bugs;
     all_flags = Pysyncobj.all_flags;
+    fault_schedules = [ "leader-partition", leader_partition ];
     spec_file = "lib/systems/pysyncobj_spec.ml";
     paper =
       { stars = "658"; impl_loc = "4.6K"; spec_loc = 490; vars = 12; acts = 9;
@@ -86,6 +153,7 @@ let wraft =
     cost_profile = Wraft.cost_profile;
     bugs = Wraft.bugs;
     all_flags = Wraft.all_flags;
+    fault_schedules = [ "packet-storm", packet_storm ];
     spec_file = "lib/systems/wraft_family.ml";
     paper =
       { stars = "1.0K"; impl_loc = "3.4K"; spec_loc = 879; vars = 14;
@@ -107,6 +175,7 @@ let redisraft =
     cost_profile = Redisraft.cost_profile;
     bugs = Redisraft.bugs;
     all_flags = Redisraft.all_flags;
+    fault_schedules = [ "crash-storm", crash_storm ];
     spec_file = "lib/systems/wraft_family.ml";
     paper =
       { stars = "766"; impl_loc = "5.3K"; spec_loc = 600; vars = 14; acts = 9;
@@ -128,6 +197,7 @@ let daosraft =
     cost_profile = Daosraft.cost_profile;
     bugs = Daosraft.bugs;
     all_flags = Daosraft.all_flags;
+    fault_schedules = [ "partition-heal", partition_heal ];
     spec_file = "lib/systems/wraft_family.ml";
     paper =
       { stars = "596"; impl_loc = "3.5K"; spec_loc = 584; vars = 13; acts = 9;
@@ -149,6 +219,7 @@ let raftos =
     cost_profile = Raftos.cost_profile;
     bugs = Raftos.bugs;
     all_flags = Raftos.all_flags;
+    fault_schedules = [ "dup-flood", dup_flood ];
     spec_file = "lib/systems/raftos_spec.ml";
     paper =
       { stars = "339"; impl_loc = "1.3K"; spec_loc = 610; vars = 12; acts = 9;
@@ -170,6 +241,7 @@ let xraft =
     cost_profile = Xraft.cost_profile;
     bugs = Xraft.bugs;
     all_flags = Xraft.all_flags;
+    fault_schedules = [ "leader-crash", leader_crash ];
     spec_file = "lib/systems/xraft_family.ml";
     paper =
       { stars = "219"; impl_loc = "6.7K"; spec_loc = 605; vars = 14;
@@ -194,6 +266,7 @@ let xraft_kv =
     cost_profile = Xraft_kv.cost_profile;
     bugs = Xraft_kv.bugs;
     all_flags = Xraft_kv.all_flags;
+    fault_schedules = [ "skewed-clock", skewed_clock ];
     spec_file = "lib/systems/xraft_family.ml";
     paper =
       { stars = "219"; impl_loc = "7.9K"; spec_loc = 618; vars = 18;
@@ -218,6 +291,7 @@ let zookeeper =
     cost_profile = Zookeeper.cost_profile;
     bugs = Zookeeper.bugs;
     all_flags = Zookeeper.all_flags;
+    fault_schedules = [ "split-brain", split_brain ];
     spec_file = "lib/systems/zookeeper_spec.ml";
     paper =
       { stars = "11.6K"; impl_loc = "11.8K"; spec_loc = 2037; vars = 39;
@@ -235,6 +309,9 @@ let names = List.map (fun s -> s.name) all
 (* One cheap spec (pysyncobj) and one with a heavier state (raftos): enough
    contrast for the worker-scaling benchmark without exploding its runtime. *)
 let scaling = [ pysyncobj; raftos ]
+
+let schedule_of sys name =
+  List.assoc_opt name sys.fault_schedules
 
 let flags_of sys ids =
   let resolve id =

@@ -38,6 +38,9 @@ type t = {
   cost_profile : Engine.Cost.profile;
   bugs : Bug.info list;
   all_flags : string list;
+  fault_schedules : (string * Faults.Schedule.t) list;
+      (** named declarative fault schedules, valid for the system's default
+          cluster shape; resolvable by the CLI's [--faults NAME] *)
   spec_file : string;  (** repo-relative path, for measured spec LoC *)
   paper : paper_row;
   paper_t4 : table4_row;
@@ -52,6 +55,9 @@ val names : string list
 val scaling : t list
 (** The subset exercised by the worker-scaling benchmark section (one cheap
     spec, one heavier one). *)
+
+val schedule_of : t -> string -> Faults.Schedule.t option
+(** Look up one of the system's named fault schedules. *)
 
 val flags_of : t -> string list -> Bug.Flags.t
 (** Resolve bug ids (["PySyncObj#4"]) or raw flags (["pso4"]) to a flag

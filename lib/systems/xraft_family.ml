@@ -580,7 +580,16 @@ module Make (P : PARAMS) : Sandtable.Spec.S with type state = state = struct
                 if ns.alive then net else Net.disconnect_node net i)
               net st.nodes
           in
-          { st with net }) }
+          { st with net });
+      leader =
+        (fun st ->
+          let rec find i =
+            if i >= Array.length st.nodes then None
+            else if st.nodes.(i).alive && st.nodes.(i).role = Types.Leader
+            then Some i
+            else find (i + 1)
+          in
+          find 0) }
 
   let next (scenario : Scenario.t) st =
     let budget key ~default = Scenario.budget_get scenario.budget key ~default in
@@ -599,7 +608,10 @@ module Make (P : PARAMS) : Sandtable.Spec.S with type state = state = struct
     if st.counters.timeouts < budget "timeouts" ~default:3 then
       Array.iteri
         (fun node ns ->
-          if ns.alive then begin
+          if
+            ns.alive
+            && Sandtable.Envgen.timeout_allowed env_ops scenario st ~node
+          then begin
             let counters =
               Counters.bump st.counters (Trace.Timeout { node; kind = "" })
             in

@@ -638,7 +638,16 @@ end) : Sandtable.Spec.S with type state = state = struct
                 if ns.alive then net else Znet.disconnect_node net i)
               net st.nodes
           in
-          { st with net }) }
+          { st with net });
+      leader =
+        (fun st ->
+          let rec find i =
+            if i >= Array.length st.nodes then None
+            else if st.nodes.(i).alive && st.nodes.(i).role = Leading then
+              Some i
+            else find (i + 1)
+          in
+          find 0) }
 
   let next (scenario : Scenario.t) st =
     let budget key ~default = Scenario.budget_get scenario.budget key ~default in
@@ -657,7 +666,10 @@ end) : Sandtable.Spec.S with type state = state = struct
     if st.counters.timeouts < budget "timeouts" ~default:3 then
       Array.iteri
         (fun node ns ->
-          if ns.alive then begin
+          if
+            ns.alive
+            && Sandtable.Envgen.timeout_allowed env_ops scenario st ~node
+          then begin
             let event = Trace.Timeout { node; kind = "election" } in
             let counters = Counters.bump st.counters event in
             add event (start_election { st with counters } node)

@@ -127,6 +127,44 @@ let test_shrink_missing_dir_usage () =
   Alcotest.(check int) "exit 2" 2 code;
   Alcotest.(check bool) "stderr explains" true (String.length err > 0)
 
+let test_faults_unknown_schedule_usage () =
+  let code, out, err = run_cli [ "check"; "pysyncobj"; "--faults"; "nosuch" ] in
+  Alcotest.(check int) "exit 2" 2 code;
+  check_contains "stderr explains" err "unknown fault schedule";
+  Alcotest.(check string) "stdout clean" "" out
+
+let test_faults_compile_error_usage () =
+  with_tmpdir (fun tmp ->
+      let file = Filename.concat tmp "bad.sexp" in
+      let oc = open_out file in
+      output_string oc "(schedule bad\n  (phase p (crash (limit 1) (nodes 9))))\n";
+      close_out oc;
+      let code, out, err = run_cli [ "check"; "pysyncobj"; "--faults"; file ] in
+      Alcotest.(check int) "exit 2" 2 code;
+      check_contains "stderr names the clause" err "node 9 out of range";
+      Alcotest.(check string) "stdout clean" "" out)
+
+let test_faults_command_lists_and_guards () =
+  let code, out, _ = run_cli [ "faults" ] in
+  Alcotest.(check int) "listing exits 0" 0 code;
+  check_contains "lists a named schedule" out "leader-partition";
+  (* inspecting a schedule prints its canonical source and merged budget *)
+  let code, out, _ =
+    run_cli [ "faults"; "pysyncobj"; "--faults"; "leader-partition" ]
+  in
+  Alcotest.(check int) "inspect exits 0" 0 code;
+  check_contains "canonical source" out "(schedule leader-partition";
+  check_contains "identity key in merged budget" out "faults.id";
+  (* a schedule with no enabled fault events is rejected: exit 2 *)
+  with_tmpdir (fun tmp ->
+      let file = Filename.concat tmp "noop.sexp" in
+      let oc = open_out file in
+      output_string oc "(schedule idle (phase p))\n";
+      close_out oc;
+      let code, _, err = run_cli [ "faults"; "pysyncobj"; "--faults"; file ] in
+      Alcotest.(check int) "no-op schedule exits 2" 2 code;
+      check_contains "stderr explains" err "zero enabled fault events")
+
 let suite =
   ( "cli",
     [ case "systems listing" test_systems_listing;
@@ -135,4 +173,7 @@ let suite =
       case "check+shrink+runs+stats round trip" test_check_finds_bug_and_records;
       case "clean check: exit 0" test_clean_check_exit_zero;
       case "stats on missing dir: exit 2" test_stats_missing_dir_usage;
-      case "shrink on missing dir: exit 2" test_shrink_missing_dir_usage ] )
+      case "shrink on missing dir: exit 2" test_shrink_missing_dir_usage;
+      case "unknown fault schedule: exit 2" test_faults_unknown_schedule_usage;
+      case "fault schedule compile error: exit 2" test_faults_compile_error_usage;
+      case "faults command lists and guards" test_faults_command_lists_and_guards ] )

@@ -110,6 +110,7 @@ let echo_cluster () =
     { Engine.Cluster.nodes = 2;
       semantics = Sandtable.Spec_net.Tcp;
       timeouts = [ "tick", 10 ];
+      clock_skew_ms = [];
       cost = Engine.Cost.profile ();
       boot = echo_boot }
 

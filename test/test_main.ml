@@ -20,6 +20,7 @@ let () =
       Test_store.suite;
       Test_obs.suite;
       Test_shrink.suite;
+      Test_faults.suite;
       Test_registry.suite;
       Test_cli.suite;
       Test_bugs.suite ]

@@ -252,7 +252,7 @@ let test_stats_on_v1_run_dir () =
       Alcotest.(check bool) "render mentions missing metrics" true
         (String.length rendered > 0))
 
-(* ---- manifest v3 roundtrip -------------------------------------------- *)
+(* ---- manifest metrics+shrink roundtrip -------------------------------------------- *)
 
 let test_manifest_v3_roundtrip () =
   with_tmpdir (fun dir ->
@@ -277,7 +277,8 @@ let test_manifest_v3_roundtrip () =
       match Store.Manifest.load ~dir with
       | Error e -> Alcotest.failf "reload failed: %s" e
       | Ok m' ->
-        Alcotest.(check int) "version 3" 3 m'.Store.Manifest.m_version;
+        Alcotest.(check int) "version" Store.Manifest.version
+          m'.Store.Manifest.m_version;
         (match m'.Store.Manifest.m_metrics with
         | None -> Alcotest.fail "metrics lost on roundtrip"
         | Some mm ->
@@ -317,6 +318,6 @@ let suite =
         test_trace_valid_and_nested;
       case "events.ndjsonl matches explorer counters" test_events_match_result;
       case "stats tolerates v1 run dirs" test_stats_on_v1_run_dir;
-      case "manifest v3 metrics+shrink roundtrip" test_manifest_v3_roundtrip;
+      case "manifest metrics+shrink roundtrip" test_manifest_v3_roundtrip;
       case "probe changes nothing about exploration"
         test_probe_off_same_result ] )
