@@ -899,7 +899,9 @@ let obs_bench () =
     done;
     (Unix.gettimeofday () -. t0) /. float n *. 1e9
   in
-  let sites_per_state = 10. in
+  (* raised from 10 when the discovery-edge profiler and expand.states
+     counter added their call sites *)
+  let sites_per_state = 12. in
   (* Interleave the repetitions round-robin across levels: machine noise
      is time-correlated (a slow scheduling window inflates whatever runs
      during it), so back-to-back reps of one level can all land in the

@@ -91,10 +91,41 @@ let spill_window_arg =
 
 let progress_every_arg =
   let doc =
-    "Print a progress line to stderr every $(docv) distinct states (0 = \
-     off)."
+    "Print a progress line to stderr every $(docv) distinct states (or \
+     walks/rounds), or on a wall-clock cadence with a duration suffix \
+     ($(b,2s), $(b,0.5s)). 0 = off."
   in
-  Arg.(value & opt int 0 & info [ "progress-every" ] ~docv:"N" ~doc)
+  Arg.(value & opt string "0" & info [ "progress-every" ] ~docv:"N|Ns" ~doc)
+
+let max_states_arg =
+  let doc =
+    "Stop after $(docv) distinct states. Also gives --progress-every a \
+     total to report percent-complete and an ETA against."
+  in
+  Arg.(value & opt (some int) None & info [ "max-states" ] ~docv:"N" ~doc)
+
+let telemetry_every_arg =
+  let doc =
+    "With --run-dir: sample telemetry.ndjsonl every $(docv) BFS layers, or \
+     on a wall-clock cadence with a duration suffix ($(b,5s)). Default: \
+     every layer; 0 disables the sampler."
+  in
+  Arg.(
+    value & opt string "1" & info [ "telemetry-every" ] ~docv:"K|Ks" ~doc)
+
+(* parse a cadence-shaped flag, exiting 2 (usage) on a bad spelling *)
+let with_parsed flag parse raw f =
+  match parse raw with
+  | Ok v -> f v
+  | Error m ->
+    Fmt.epr "%s: %s@." flag m;
+    Store.Exit_code.usage
+
+(* simulate/conform count walks, not states: hundreds, not millions — a
+   time cadence ticks on every walk and lets the throttle gate output *)
+let walk_granularity = function
+  | Obs.Progress.Every_seconds _ -> 1
+  | c -> Obs.Progress.states_granularity c
 
 let trace_out_arg =
   let doc =
@@ -117,9 +148,9 @@ let faults_arg =
 (* Observability is on exactly when some artefact asked for it; the probe
    is [None] otherwise, and every instrumentation hook in the engines
    compiles down to a no-op branch. *)
-let obs_run ~workers ?trace_out ?run_dir () =
+let obs_run ~workers ?trace_out ?run_dir ?telemetry () =
   if trace_out <> None || run_dir <> None then
-    Some (Obs.Run.create ~workers ?trace_out ?dir:run_dir ())
+    Some (Obs.Run.create ~workers ?trace_out ?dir:run_dir ?telemetry ())
   else None
 
 let obs_probe = function Some o -> Obs.Run.probe o | None -> None
@@ -253,24 +284,36 @@ let try_shrink ~workers ?probe spec scenario oracle events =
 
 let check_cmd =
   let run name bugs time nodes workers run_dir every resume spill_window
-      progress_every trace_out do_shrink faults =
+      progress_every max_states telemetry_every trace_out do_shrink faults =
     with_system name bugs (fun sys flags ->
+        with_parsed "--progress-every" Obs.Progress.parse_cadence
+          progress_every
+        @@ fun progress_cadence ->
+        with_parsed "--telemetry-every" Obs.Telemetry.parse_cadence
+          telemetry_every
+        @@ fun telemetry ->
         let workers = resolve_workers workers in
         let spec = sys.spec flags in
-        let obs = obs_run ~workers ?trace_out ?run_dir () in
+        let obs = obs_run ~workers ?trace_out ?run_dir ~telemetry () in
         let probe = obs_probe obs in
         with_faults ?probe sys (scenario_of sys nodes) faults
         @@ fun scenario ->
         Fmt.epr "model checking %s on %a@." sys.name Scenario.pp scenario;
         let progress_label = Fmt.str "check[%s/%s]" sys.name scenario.name in
+        let progress_every =
+          Obs.Progress.states_granularity progress_cadence
+        in
         let progress =
-          if progress_every > 0 then
+          if progress_every > 0 then begin
+            let due = Obs.Progress.make_throttle progress_cadence in
             Some
               (fun (s : Explorer.stats) ->
-                Obs.Progress.eprint ~label:progress_label
-                  ~unit_name:"distinct" ~count:s.distinct ~depth:s.depth
-                  ~generated:s.generated ~frontier:s.frontier_len
-                  ~elapsed:s.elapsed ())
+                if due () then
+                  Obs.Progress.eprint ~label:progress_label
+                    ~unit_name:"distinct" ~count:s.distinct
+                    ?total:max_states ~depth:s.depth ~generated:s.generated
+                    ~frontier:s.frontier_len ~elapsed:s.elapsed ())
+          end
           else None
         in
         let frontier =
@@ -289,6 +332,7 @@ let check_cmd =
         let base_opts =
           { Explorer.default with
             time_budget = Some time;
+            max_states;
             progress_every = (if progress_every > 0 then progress_every else 0);
             progress;
             frontier;
@@ -473,6 +517,8 @@ let check_cmd =
                   m_trace = trace_rel;
                   m_metrics =
                     Option.map Obs.Run.manifest_metrics obs_summary;
+                  m_profile =
+                    Option.map Obs.Run.manifest_profile obs_summary;
                   m_shrink =
                     Option.map (manifest_shrink shrink_rel) shrink_outcome }
               in
@@ -501,8 +547,8 @@ let check_cmd =
     Term.(
       const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg
       $ workers_arg $ run_dir_arg $ checkpoint_every_arg $ resume_arg
-      $ spill_window_arg $ progress_every_arg $ trace_out_arg $ shrink_arg
-      $ faults_arg)
+      $ spill_window_arg $ progress_every_arg $ max_states_arg
+      $ telemetry_every_arg $ trace_out_arg $ shrink_arg $ faults_arg)
 
 (* --- runs: list recorded runs ----------------------------------------- *)
 
@@ -546,6 +592,9 @@ let simulate_cmd =
   let run name bugs walks seed nodes workers progress_every trace_out
       do_shrink faults =
     with_system name bugs (fun sys flags ->
+        with_parsed "--progress-every" Obs.Progress.parse_cadence
+          progress_every
+        @@ fun progress_cadence ->
         let workers = resolve_workers workers in
         let opts = { Simulate.default with max_depth = 60 } in
         let obs = obs_run ~workers ?trace_out () in
@@ -553,14 +602,18 @@ let simulate_cmd =
         with_faults ?probe sys (scenario_of sys nodes) faults
         @@ fun scenario ->
         let started = Unix.gettimeofday () in
+        let progress_every = walk_granularity progress_cadence in
         let progress =
-          if progress_every > 0 then
+          if progress_every > 0 then begin
+            let due = Obs.Progress.make_throttle progress_cadence in
             Some
               (fun n ->
-                Obs.Progress.eprint
-                  ~label:(Fmt.str "simulate[%s/%s]" sys.name scenario.name)
-                  ~unit_name:"walks" ~count:n
-                  ~elapsed:(Unix.gettimeofday () -. started) ())
+                if due () then
+                  Obs.Progress.eprint
+                    ~label:(Fmt.str "simulate[%s/%s]" sys.name scenario.name)
+                    ~unit_name:"walks" ~count:n ~total:walks
+                    ~elapsed:(Unix.gettimeofday () -. started) ())
+          end
           else None
         in
         (* Par_simulate at every worker count (1 spawns no domains): walk
@@ -615,6 +668,9 @@ let conform_cmd =
   let run name bugs rounds seed nodes workers progress_every trace_out
       do_shrink faults =
     with_system name bugs (fun sys flags ->
+        with_parsed "--progress-every" Obs.Progress.parse_cadence
+          progress_every
+        @@ fun progress_cadence ->
         let workers = resolve_workers workers in
         (* the spec models the fixed protocol; flags select impl bugs *)
         let spec = sys.spec Bug.Flags.empty in
@@ -623,14 +679,19 @@ let conform_cmd =
         with_faults ?probe sys (scenario_of sys nodes) faults
         @@ fun scenario ->
         let started = Unix.gettimeofday () in
+        let progress_every = walk_granularity progress_cadence in
         let progress =
-          if progress_every > 0 then
+          if progress_every > 0 then begin
+            let due = Obs.Progress.make_throttle progress_cadence in
             Some
               (fun round events ->
-                Obs.Progress.eprint
-                  ~label:(Fmt.str "conform[%s/%s]" sys.name scenario.name)
-                  ~unit_name:"rounds" ~count:round ~generated:events
-                  ~elapsed:(Unix.gettimeofday () -. started) ())
+                if due () then
+                  Obs.Progress.eprint
+                    ~label:(Fmt.str "conform[%s/%s]" sys.name scenario.name)
+                    ~unit_name:"rounds" ~count:round ~total:rounds
+                    ~generated:events
+                    ~elapsed:(Unix.gettimeofday () -. started) ())
+          end
           else None
         in
         let walk_source =
@@ -842,22 +903,104 @@ let stats_cmd =
        pre-observability run dirs too — those show the manifest summary \
        and note that no metrics were recorded."
     in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_DIR" ~doc)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN_A" ~doc)
   in
-  let run dir =
-    match Obs.Report.load dir with
-    | Error m ->
-      Fmt.epr "%s@." m;
+  let dir_b_arg =
+    let doc = "Second run directory — with --compare, the candidate run." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"RUN_B" ~doc)
+  in
+  let compare_arg =
+    let doc =
+      "Diff two runs: $(b,stats --compare RUN_A RUN_B) prints their \
+       metrics side by side (baseline A, candidate B) with percent deltas, \
+       aligned by depth and by duplicate-attribution key. With a \
+       --fail-threshold-* option the command exits 1 when B regressed past \
+       the threshold — a CI gate."
+    in
+    Arg.(value & flag & info [ "compare" ] ~doc)
+  in
+  let follow_arg =
+    let doc =
+      "Tail the run's telemetry.ndjsonl live: print each sample as it is \
+       written and exit when the run's manifest leaves the running state."
+    in
+    Arg.(value & flag & info [ "follow" ] ~doc)
+  in
+  let fail_rate_arg =
+    let doc =
+      "With --compare: exit 1 if RUN_B's states/s dropped more than \
+       $(docv) percent below RUN_A's."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-threshold-rate" ] ~docv:"PCT" ~doc)
+  in
+  let fail_dup_arg =
+    let doc =
+      "With --compare: exit 1 if RUN_B's duplicate ratio \
+       (duplicates/generated) rose more than $(docv) percentage points \
+       above RUN_A's."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-threshold-dup" ] ~docv:"PP" ~doc)
+  in
+  let run dir dir_b compare follow fail_rate pp_dup =
+    let compare = compare || dir_b <> None in
+    if follow && compare then begin
+      Fmt.epr "--follow and --compare are mutually exclusive@.";
       Store.Exit_code.usage
-    | Ok r ->
-      Fmt.pr "%a@." Obs.Report.pp r;
-      Store.Exit_code.ok
+    end
+    else if follow then begin
+      match Obs.Report.follow ~dir print_endline with
+      | Ok () -> Store.Exit_code.ok
+      | Error m ->
+        Fmt.epr "%s@." m;
+        Store.Exit_code.usage
+    end
+    else if compare then begin
+      match dir_b with
+      | None ->
+        Fmt.epr "--compare needs two run directories: stats --compare A B@.";
+        Store.Exit_code.usage
+      | Some b -> (
+        match Obs.Report.compare_runs dir b with
+        | Error m ->
+          Fmt.epr "%s@." m;
+          Store.Exit_code.usage
+        | Ok c -> (
+          Fmt.pr "%a@." Obs.Report.pp_comparison c;
+          match
+            Obs.Report.regressions ?fail_rate_pct:fail_rate
+              ?fail_dup_pp:pp_dup c
+          with
+          | [] -> Store.Exit_code.ok
+          | reasons ->
+            List.iter (Fmt.epr "regression: %s@.") reasons;
+            Store.Exit_code.found))
+    end
+    else
+      match Obs.Report.load dir with
+      | Error m ->
+        Fmt.epr "%s@." m;
+        Store.Exit_code.usage
+      | Ok r ->
+        Fmt.pr "%a@." Obs.Report.pp r;
+        Store.Exit_code.ok
   in
   let doc =
     "Summarize a run directory: manifest, recorded metrics (throughput, \
-     peak frontier, barrier idle, phase timers) and the event log."
+     peak frontier, barrier idle, phase timers), the exploration profile \
+     (where generated states and duplicate work went) and the event log. \
+     --follow tails a live run's telemetry; --compare diffs two runs and \
+     can gate CI on regression thresholds."
   in
-  Cmd.v (Cmd.info "stats" ~doc ~exits) Term.(const run $ dir_arg)
+  Cmd.v (Cmd.info "stats" ~doc ~exits)
+    Term.(
+      const run $ dir_arg $ dir_b_arg $ compare_arg $ follow_arg
+      $ fail_rate_arg $ fail_dup_arg)
 
 (* --- rank: Algorithm 1 ------------------------------------------------ *)
 

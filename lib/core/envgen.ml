@@ -64,13 +64,28 @@ let legacy_failure_events ops (scenario : Scenario.t) st =
 
 let group_key g = String.concat "," (List.map string_of_int g)
 
+(* Telemetry watermark: the highest plan-phase index interpreted since the
+   last reset. Written only from plan-driven enumeration (so budget-only
+   runs never touch it); a lost racing update is corrected by the next
+   state that reaches the same phase, and samples are taken at layer
+   barriers where every state of the layer has been enumerated. *)
+let phase_mark = Atomic.make (-1)
+
+let reset_phase_watermark () = Atomic.set phase_mark (-1)
+let phase_watermark () = Atomic.get phase_mark
+
+let note_phase phi =
+  if phi > Atomic.get phase_mark then Atomic.set phase_mark phi
+
 (* Plan-driven enumeration. Mirrors the legacy event order (crashes asc,
    restarts asc, partition groups, heal) with the active phase's selectors,
    cumulative caps and sampling applied, so a plan that encodes exactly the
    legacy budget reproduces the legacy state space. *)
 let plan_failure_events ops (plan : Fault_plan.t) st =
   let counters = ops.counters st in
-  let ph = Fault_plan.active plan counters in
+  let phi = Fault_plan.phase_index plan counters in
+  note_phase phi;
+  let ph = List.nth plan.Fault_plan.pl_phases phi in
   let leader = ops.leader st in
   let n = ops.node_count st in
   let out = ref [] in

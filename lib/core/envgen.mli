@@ -58,3 +58,14 @@ val timeout_allowed : 'st ops -> Scenario.t -> 'st -> node:int -> bool
 (** Whether the scenario's fault plan permits [node] to fire a timeout at
     this state ([true] when no plan or no timeout restriction applies); the
     specification's own ["timeouts"] budget check still applies. *)
+
+(** {2 Fault-plan phase watermark} — telemetry only.
+
+    The highest phase index any plan-driven enumeration has interpreted
+    since the last reset ([-1] when none ran). The watermark is global to
+    the process: [Obs.Run] resets it at run start and samples it at layer
+    barriers, where every state of the finished layer has been enumerated,
+    so the sampled value is deterministic for the deterministic engines. *)
+
+val phase_watermark : unit -> int
+val reset_phase_watermark : unit -> unit

@@ -99,29 +99,34 @@ exception Stop of outcome
 
 module Run (S : Spec.S) = struct
   (* [probe] is threaded separately from [opts] so the parallel engine can
-     hand each worker its own (domain-local) probe view. *)
-  let fingerprint ?probe opts scenario state =
+     hand each worker its own (domain-local) probe view. The [bool] of
+     [fingerprint_info] reports whether symmetry canonicalization changed
+     the fingerprint — fed to the profiler's per-edge [sym] flag. *)
+  let fingerprint_info ?probe opts scenario state =
     let b0 = if Probe.is_on probe then Fingerprint.marshalled_bytes () else 0 in
-    let fp =
+    let fp, sym =
       if opts.symmetry && S.permutable then begin
         Probe.span_begin probe "symmetry-normalize";
-        let fp =
-          Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
+        let r =
+          Symmetry.canonical_fp_info ?probe ~who:S.name ~permute:S.permute
             ~nodes:scenario.Scenario.nodes state
         in
         Probe.span_end probe "symmetry-normalize";
-        fp
+        r
       end
       else begin
         Probe.span_begin probe "fingerprint";
         let fp = Fingerprint.of_state ~who:S.name state in
         Probe.span_end probe "fingerprint";
-        fp
+        (fp, false)
       end
     in
     if Probe.is_on probe then
       Probe.count probe "fp.bytes" (Fingerprint.marshalled_bytes () - b0);
-    fp
+    (fp, sym)
+
+  let fingerprint ?probe opts scenario state =
+    fst (fingerprint_info ?probe opts scenario state)
 
   (* Walk provenance back to a root, returning (init_index, events). *)
   let trace_of visited idx =
@@ -329,11 +334,25 @@ module Run (S : Spec.S) = struct
          | Some t -> Unix.gettimeofday () > t
          | None -> false
     in
+    (* profiler edge for one discovery attempt; [is_on] guards the
+       [Some event] allocation away from uninstrumented runs *)
+    let edge prov depth ~dup ~sym =
+      if Probe.is_on probe then
+        let event =
+          match prov with
+          | Fp_store.Proot _ -> None
+          | Fp_store.Pstep (_, event) -> Some event
+        in
+        Probe.edge probe ~depth ~event ~dup ~sym
+    in
     let discover prov depth state =
-      let fp = fingerprint ?probe opts scenario state in
+      let fp, sym = fingerprint_info ?probe opts scenario state in
       match Fp_store.add visited fp prov ~depth with
-      | Fp_store.Dup _ -> Probe.count probe "fp.dup" 1
+      | Fp_store.Dup _ ->
+        Probe.count probe "fp.dup" 1;
+        edge prov depth ~dup:true ~sym
       | Fp_store.Fresh idx ->
+        edge prov depth ~dup:false ~sym;
         if depth > !max_depth_seen then max_depth_seen := depth;
         check_invariants idx depth state;
         if S.constraint_ok scenario state then fr.fr_push (state, idx, depth);
@@ -424,6 +443,14 @@ module Run (S : Spec.S) = struct
               (* terminal empty-frontier record, matching the parallel
                  engine's last layer barrier — keeps per-layer event logs
                  identical across engines and worker counts *)
+              if Probe.is_on probe then begin
+                Probe.gauge probe "visited.entries"
+                  (float_of_int (Fp_store.length visited));
+                Probe.gauge probe "visited.capacity"
+                  (float_of_int (Fp_store.capacity visited));
+                Probe.gauge probe "visited.store_bytes"
+                  (float_of_int (Fp_store.store_bytes visited))
+              end;
               Probe.layer probe ~depth:(!cur_depth + 1)
                 ~distinct:(Fp_store.length visited)
                 ~generated:!generated ~frontier:0 ~elapsed:(elapsed ())
@@ -431,6 +458,16 @@ module Run (S : Spec.S) = struct
               layer_remaining := n;
               incr cur_depth;
               Probe.span_end probe "expand";
+              (* refresh visited gauges before the layer record so the
+                 telemetry sampler reads this layer's values *)
+              if Probe.is_on probe then begin
+                Probe.gauge probe "visited.entries"
+                  (float_of_int (Fp_store.length visited));
+                Probe.gauge probe "visited.capacity"
+                  (float_of_int (Fp_store.capacity visited));
+                Probe.gauge probe "visited.store_bytes"
+                  (float_of_int (Fp_store.store_bytes visited))
+              end;
               Probe.layer probe ~depth:!cur_depth
                 ~distinct:(Fp_store.length visited)
                 ~generated:!generated ~frontier:n ~elapsed:(elapsed ());
@@ -442,6 +479,7 @@ module Run (S : Spec.S) = struct
           if !continue then begin
             let state, idx, depth = Option.get (fr.fr_pop ()) in
             decr layer_remaining;
+            Probe.count probe "expand.states" 1;
             if over_budget depth then raise (Stop Budget_spent);
             let successors = S.next scenario state in
             if Probe.is_on probe && scenario.Scenario.faults <> None then

@@ -7,6 +7,9 @@ type sink = {
   s_layer :
     depth:int -> distinct:int -> generated:int -> frontier:int ->
     elapsed:float -> unit;
+  s_edge :
+    worker:int -> depth:int -> event:Trace.event option -> dup:bool ->
+    sym:bool -> unit;
 }
 
 type t = { worker : int; sink : sink }
@@ -46,6 +49,13 @@ let layer p ~depth ~distinct ~generated ~frontier ~elapsed =
   match p with
   | None -> ()
   | Some t -> t.sink.s_layer ~depth ~distinct ~generated ~frontier ~elapsed
+
+(* Callers guard with [is_on] before building the [event] option so the
+   probe-off path never allocates the [Some]. *)
+let edge p ~depth ~event ~dup ~sym =
+  match p with
+  | None -> ()
+  | Some t -> t.sink.s_edge ~worker:t.worker ~depth ~event ~dup ~sym
 
 let span p name f =
   match p with

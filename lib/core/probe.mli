@@ -34,6 +34,15 @@ type sink = {
     depth:int -> distinct:int -> generated:int -> frontier:int ->
     elapsed:float -> unit;
       (** one record per BFS layer barrier, from the coordinator only *)
+  s_edge :
+    worker:int -> depth:int -> event:Trace.event option -> dup:bool ->
+    sym:bool -> unit;
+      (** one BFS tree edge: a state discovery attempt at [depth] via
+          [event] ([None] for init-state roots). [dup] — the fingerprint
+          was already visited; [sym] — symmetry canonicalization changed
+          the fingerprint (a non-identity permutation won). Fired by the
+          engines for every generated successor; feeds the exploration
+          profiler ([Obs.Profile]). *)
 }
 
 type t
@@ -59,6 +68,13 @@ val span_at : t option -> string -> t0:float -> t1:float -> unit
 val layer :
   t option -> depth:int -> distinct:int -> generated:int -> frontier:int ->
   elapsed:float -> unit
+
+val edge :
+  t option -> depth:int -> event:Trace.event option -> dup:bool ->
+  sym:bool -> unit
+(** Report one discovery edge to the profiler. Guard the call with
+    {!is_on} so the [Some event] box is never allocated when the probe is
+    off. *)
 
 val span : t option -> string -> (unit -> 'a) -> 'a
 (** [span p name f] runs [f] inside a [name] span (exception-safe). With

@@ -28,22 +28,20 @@ let rec cached_permutations n =
     else if Atomic.compare_and_set perm_cache cur ((n, ps) :: cur) then ps
     else cached_permutations n
 
-let canonical_fp ?probe ?who ~permute ~nodes state =
+let canonical_fp_info ?probe ?who ~permute ~nodes state =
   let perms =
     match probe with
     | None -> cached_permutations nodes
     | Some _ ->
-      (* distinguish warm-cache lookups from (rare, racy under domains)
-         recomputations; counted only when observability is on *)
-      (match List.assoc_opt nodes (Atomic.get perm_cache) with
-      | Some ps ->
-        Probe.count probe "symmetry.perm_cache_hits" 1;
-        ps
-      | None ->
-        Probe.count probe "symmetry.perm_cache_misses" 1;
-        cached_permutations nodes)
+      (* Raw lookups only: whether a given lookup hits the cache depends
+         on domain scheduling (a lost CAS race recomputes), so the
+         hit/miss split is derived deterministically at merge time from
+         this total ([Obs.Run] credits one cold miss per run). *)
+      Probe.count probe "symmetry.perm_cache_lookups" 1;
+      cached_permutations nodes
   in
-  let best = ref (Fingerprint.of_state ?who state) in
+  let identity_fp = Fingerprint.of_state ?who state in
+  let best = ref identity_fp in
   let try_perm p =
     let fp = Fingerprint.of_state ?who (permute p state) in
     if Fingerprint.compare fp !best < 0 then best := fp
@@ -51,4 +49,7 @@ let canonical_fp ?probe ?who ~permute ~nodes state =
   (match perms with
   | [] -> ()
   | _identity :: rest -> List.iter try_perm rest);
-  !best
+  (!best, Fingerprint.compare !best identity_fp <> 0)
+
+let canonical_fp ?probe ?who ~permute ~nodes state =
+  fst (canonical_fp_info ?probe ?who ~permute ~nodes state)

@@ -10,7 +10,16 @@ val canonical_fp :
   nodes:int -> 's -> Fingerprint.t
 (** Minimal fingerprint over all node permutations of the state. [who] names
     the spec in fingerprinting error messages. Safe to call from concurrent
-    domains (the permutation cache is lock-free). With [probe], counts
-    permutation-cache hits/misses ([symmetry.perm_cache_hits]/[_misses]);
-    miss counts can differ across worker counts (a lost CAS race merely
-    recomputes). *)
+    domains (the permutation cache is lock-free). With [probe], counts raw
+    cache lookups ([symmetry.perm_cache_lookups]) — a count that is
+    deterministic at every worker count; the hit/miss split is derived at
+    merge time by [Obs.Run] (one cold miss per run), not sampled per call,
+    so it cannot be perturbed by CAS races between domains. *)
+
+val canonical_fp_info :
+  ?probe:Probe.t -> ?who:string -> permute:(int array -> 's -> 's) ->
+  nodes:int -> 's -> Fingerprint.t * bool
+(** Like {!canonical_fp}, also reporting whether a non-identity permutation
+    produced the canonical fingerprint — i.e. the state was {e not} already
+    in canonical form. The profiler attributes duplicate hits on such
+    states to symmetry reduction. *)

@@ -31,7 +31,11 @@ let close t =
       end)
 
 (* Reader used by the [stats] subcommand and tests: parse every line,
-   skipping blanks, surfacing the first malformed line as an error. *)
+   skipping blanks. A malformed FINAL line is tolerated silently — it is
+   what a run killed mid-write leaves behind (each record is one flushed
+   line, so only the last can be torn), and refusing to read the log would
+   hide every record the run did complete. A malformed line with real
+   records after it is genuine corruption and aborts with its number. *)
 let read_all path =
   let ic = open_in path in
   let records = ref [] in
@@ -40,20 +44,30 @@ let read_all path =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let rec loop () =
+        let rec loop bad =
           match input_line ic with
-          | exception End_of_file -> Ok (List.rev !records)
-          | line ->
+          | exception End_of_file -> (
+            match bad with
+            | None -> Ok (List.rev !records)
+            | Some _ ->
+              (* the malformed line was the trailing partial one *)
+              Ok (List.rev !records))
+          | line -> (
             incr line_no;
-            if String.trim line = "" then loop ()
-            else (
-              match Store.Sjson.of_string line with
-              | Ok j ->
-                records := j :: !records;
-                loop ()
-              | Error m ->
-                Error (Printf.sprintf "%s:%d: %s" path !line_no m))
+            if String.trim line = "" then loop bad
+            else
+              match bad with
+              | Some (bad_no, m) ->
+                (* records follow the malformed line: not a torn tail *)
+                ignore line;
+                Error (Printf.sprintf "%s:%d: %s" path bad_no m)
+              | None -> (
+                match Store.Sjson.of_string line with
+                | Ok j ->
+                  records := j :: !records;
+                  loop None
+                | Error m -> loop (Some (!line_no, m))))
         in
-        loop ())
+        loop None)
   in
   result

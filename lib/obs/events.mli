@@ -14,5 +14,7 @@ val emit : t -> (string * Store.Sjson.t) list -> unit
 val close : t -> unit
 
 val read_all : string -> (Store.Sjson.t list, string) result
-(** Parse every non-blank line; the first malformed line aborts with its
-    line number. *)
+(** Parse every non-blank line. A malformed {e final} line — the torn tail
+    a run killed mid-write leaves behind — is tolerated and the completed
+    records returned; a malformed line with records after it is genuine
+    corruption and aborts with its line number. *)

@@ -64,6 +64,17 @@ let drain c ~now =
   List.iter (fun (name, t0) -> add_timer c name (now -. t0)) c.open_spans;
   c.open_spans <- []
 
+let counter_of c name =
+  match Hashtbl.find_opt c.counters name with Some r -> !r | None -> 0
+
+let timer_total_of c name =
+  match Hashtbl.find_opt c.timers name with Some t -> t.tm_total | None -> 0.
+
+let gauge_last_of c name =
+  match Hashtbl.find_opt c.gauges name with
+  | Some g -> Some g.g_last
+  | None -> None
+
 type summary = {
   s_counters : (string * int) list;
   s_gauges : (string * gauge) list;

@@ -6,8 +6,9 @@
     folds the collectors {e in worker order} and sorts every family by
     name — the resulting {!summary} does not depend on domain scheduling,
     and for the deterministic engines the counter values are identical at
-    every worker count (see the denylist note in [test/test_obs.ml] for
-    the one racy exception, symmetry permutation-cache hit/miss split). *)
+    every worker count. (Counters that would be scheduling-dependent per
+    call — the symmetry permutation-cache hit/miss split — are instead
+    derived from deterministic totals at merge time, in [Run.finish].) *)
 
 type gauge = { mutable g_last : float; mutable g_max : float }
 type timer = { mutable tm_count : int; mutable tm_total : float }
@@ -36,6 +37,19 @@ val end_span : collector -> string -> now:float -> float option
 val drain : collector -> now:float -> unit
 (** Close every span still open, crediting time up to [now] — called once
     at the end of a run so exceptions don't silently drop phase time. *)
+
+(** {2 Quiescent reads} — snapshot one worker's collector {e while its
+    domain is parked} (layer barrier, end of run). The telemetry sampler
+    uses these from the coordinator to compute per-worker deltas between
+    barriers; calling them while the owner is mutating is a race. *)
+
+val counter_of : collector -> string -> int
+(** 0 when absent. *)
+
+val timer_total_of : collector -> string -> float
+(** Total seconds of {e closed} spans; 0 when absent. *)
+
+val gauge_last_of : collector -> string -> float option
 
 (** {2 Merged view} *)
 

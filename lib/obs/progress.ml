@@ -2,12 +2,19 @@
    simulate / conform stderr output stays uniform:
 
      check[toy/n2]: depth 5, 1234 distinct, 4567 generated, frontier 89, 1538 states/s, 0.8s
+     check[toy/n2]: depth 5, 1234 distinct, ..., 12% of 10000, ETA 8s, 0.8s
      simulate[raft/n3]: 500 walks, 423 walks/s, 1.2s
 *)
 
 let rate ~count ~elapsed = if elapsed > 0. then float count /. elapsed else 0.
 
-let line ~label ~unit_name ~count ?depth ?generated ?frontier ~elapsed () =
+let eta ~count ~total ~elapsed =
+  let r = rate ~count ~elapsed in
+  if r <= 0. || count >= total then None
+  else Some (float (total - count) /. r)
+
+let line ~label ~unit_name ~count ?total ?depth ?generated ?frontier ~elapsed
+    () =
   let buf = Buffer.create 96 in
   Buffer.add_string buf label;
   Buffer.add_string buf ": ";
@@ -22,10 +29,61 @@ let line ~label ~unit_name ~count ?depth ?generated ?frontier ~elapsed () =
   | Some f -> Buffer.add_string buf (Printf.sprintf ", frontier %d" f)
   | None -> ());
   Buffer.add_string buf
-    (Printf.sprintf ", %.0f %s/s, %.1fs" (rate ~count ~elapsed) unit_name
-       elapsed);
+    (Printf.sprintf ", %.0f %s/s" (rate ~count ~elapsed) unit_name);
+  (match total with
+  | Some t when t > 0 ->
+    Buffer.add_string buf
+      (Printf.sprintf ", %.0f%% of %d" (100. *. float count /. float t) t);
+    (match eta ~count ~total:t ~elapsed with
+    | Some secs -> Buffer.add_string buf (Printf.sprintf ", ETA %.0fs" secs)
+    | None -> ())
+  | Some _ | None -> ());
+  Buffer.add_string buf (Printf.sprintf ", %.1fs" elapsed);
   Buffer.contents buf
 
-let eprint ~label ~unit_name ~count ?depth ?generated ?frontier ~elapsed () =
+let eprint ~label ~unit_name ~count ?total ?depth ?generated ?frontier
+    ~elapsed () =
   Printf.eprintf "%s\n%!"
-    (line ~label ~unit_name ~count ?depth ?generated ?frontier ~elapsed ())
+    (line ~label ~unit_name ~count ?total ?depth ?generated ?frontier ~elapsed
+       ())
+
+type cadence = Never | Every_states of int | Every_seconds of float
+
+let parse_cadence s =
+  let s = String.trim s in
+  if s = "" || s = "0" then Ok Never
+  else
+    let n = String.length s in
+    if s.[n - 1] = 's' then
+      match float_of_string_opt (String.sub s 0 (n - 1)) with
+      | Some f when f > 0. -> Ok (Every_seconds f)
+      | _ -> Error (Printf.sprintf "%S: bad duration (try \"2s\")" s)
+    else
+      match int_of_string_opt s with
+      | Some k when k > 0 -> Ok (Every_states k)
+      | Some _ -> Error (Printf.sprintf "%S: expected a positive count" s)
+      | None ->
+        Error
+          (Printf.sprintf "%S: expected a state count or a duration like \
+                           \"2s\"" s)
+
+(* Time-based cadences piggyback on the engines' count-based callback: ask
+   for a fine count granularity, then let the throttle drop ticks until
+   the interval has passed. *)
+let states_granularity = function
+  | Never -> 0
+  | Every_states k -> k
+  | Every_seconds _ -> 256
+
+let make_throttle cadence =
+  match cadence with
+  | Never | Every_states _ -> fun () -> true
+  | Every_seconds secs ->
+    let last = ref (Unix.gettimeofday ()) in
+    fun () ->
+      let now = Unix.gettimeofday () in
+      if now -. !last >= secs then begin
+        last := now;
+        true
+      end
+      else false

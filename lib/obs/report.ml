@@ -1,13 +1,17 @@
 (* The [sandtable stats <run-dir>] reader: summarize whatever artefacts a
-   run directory holds — manifest (v1 or v2), metrics.json, events.ndjsonl
-   — degrading gracefully when some are absent (a v1 run dir has only the
-   manifest and maybe a checkpoint). *)
+   run directory holds — manifest (any version), metrics.json,
+   events.ndjsonl, profile.json, telemetry.ndjsonl — degrading gracefully
+   when some are absent (a v1 run dir has only the manifest and maybe a
+   checkpoint). Also the run-vs-run comparison behind [stats --compare]
+   and the live telemetry tail behind [stats --follow]. *)
 
 type t = {
   rp_dir : string;
   rp_manifest : (Store.Manifest.t, string) result option;
   rp_metrics : Store.Sjson.t option;
   rp_events : (Store.Sjson.t list, string) result option;
+  rp_profile : (Profile.summary, string) result option;
+  rp_telemetry : (Store.Sjson.t list, string) result option;
 }
 
 let load dir =
@@ -35,6 +39,16 @@ let load dir =
       let path = Filename.concat dir Events.file in
       if Sys.file_exists path then Some (Events.read_all path) else None
     in
+    let profile =
+      if Sys.file_exists (Filename.concat dir Profile.file) then
+        Some (Profile.load ~dir)
+      else None
+    in
+    let telemetry =
+      (* same line format and torn-tail tolerance as the event log *)
+      let path = Filename.concat dir Telemetry.file in
+      if Sys.file_exists path then Some (Events.read_all path) else None
+    in
     match manifest, metrics, events with
     | None, None, None ->
       Error
@@ -43,7 +57,8 @@ let load dir =
            Store.Manifest.file Run.metrics_file Events.file)
     | _ ->
       Ok { rp_dir = dir; rp_manifest = manifest; rp_metrics = metrics;
-           rp_events = events }
+           rp_events = events; rp_profile = profile;
+           rp_telemetry = telemetry }
   end
 
 let num j name = Option.bind (Store.Sjson.member name j) Store.Sjson.to_num
@@ -87,6 +102,19 @@ let pp_metrics ppf m =
       timers
   | _ -> ()
 
+let pp_telemetry ppf samples =
+  Fmt.pf ppf "telemetry: %d samples@," (List.length samples);
+  match List.rev samples with
+  | last :: _ ->
+    let get name = Option.value ~default:0. (num last name) in
+    Fmt.pf ppf
+      "last sample: layer %.0f, frontier %.0f, heap %.1f MW, fault phase \
+       %.0f@,"
+      (get "layer") (get "frontier")
+      (get "heap_words" /. 1_000_000.)
+      (get "fault_phase")
+  | [] -> ()
+
 let pp ppf r =
   Fmt.pf ppf "@[<v>%s@," r.rp_dir;
   (match r.rp_manifest with
@@ -99,8 +127,262 @@ let pp ppf r =
     Fmt.pf ppf
       "no metrics recorded (pre-observability run, or run without \
        --run-dir)@,");
+  (match r.rp_profile with
+  | Some (Ok p) -> Profile.pp ppf p
+  | Some (Error e) -> Fmt.pf ppf "profile unreadable: %s@," e
+  | None -> ());
+  (match r.rp_telemetry with
+  | Some (Ok samples) -> pp_telemetry ppf samples
+  | Some (Error e) -> Fmt.pf ppf "telemetry unreadable: %s@," e
+  | None -> ());
   (match r.rp_events with
   | Some (Ok records) -> pp_events ppf records
   | Some (Error e) -> Fmt.pf ppf "events unreadable: %s@," e
   | None -> ());
   Fmt.pf ppf "@]"
+
+(* --- stats --compare --------------------------------------------------- *)
+
+type cmp_row = { cr_label : string; cr_a : float option; cr_b : float option }
+
+type comparison = {
+  cmp_a : string;
+  cmp_b : string;
+  cmp_scalars : cmp_row list;
+  cmp_events : cmp_row list;  (** duplicate hits per attribution key *)
+  cmp_depths : cmp_row list;  (** distinct states per depth *)
+  cmp_rate_drop_pct : float option;
+      (** how much slower B ran than A, percent (negative = faster) *)
+  cmp_dup_rise_pp : float option;
+      (** B's duplicate ratio minus A's, percentage points *)
+}
+
+let throughput_of r =
+  match Option.bind r.rp_metrics (fun m -> num m "throughput_states_per_sec")
+  with
+  | Some t when t > 0. -> Some t
+  | _ -> None
+
+let profile_of r =
+  match r.rp_profile with Some (Ok p) -> Some p | _ -> None
+
+let dup_ratio (p : Profile.summary) =
+  if p.Profile.p_generated > 0 then
+    Some (100. *. float p.Profile.p_duplicates /. float p.Profile.p_generated)
+  else None
+
+(* Align two labelled series on the union of their keys, preserving A's
+   order and appending B-only keys — so a key present in only one run
+   still shows, with a hole on the other side. *)
+let align a b =
+  let labels =
+    List.map fst a
+    @ List.filter_map
+        (fun (l, _) -> if List.mem_assoc l a then None else Some l)
+        b
+  in
+  List.map
+    (fun l -> { cr_label = l; cr_a = List.assoc_opt l a;
+                cr_b = List.assoc_opt l b })
+    labels
+
+let compare_runs a b =
+  match (load a, load b) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok ra, Ok rb ->
+    let pa = profile_of ra and pb = profile_of rb in
+    let pnum f = function Some p -> Some (f p) | None -> None in
+    let scalar label fa fb = { cr_label = label; cr_a = fa; cr_b = fb } in
+    let pint f = pnum (fun p -> float (f p)) in
+    let scalars =
+      [ scalar "states/s" (throughput_of ra) (throughput_of rb);
+        scalar "distinct"
+          (pint (fun p -> p.Profile.p_distinct) pa)
+          (pint (fun p -> p.Profile.p_distinct) pb);
+        scalar "generated"
+          (pint (fun p -> p.Profile.p_generated) pa)
+          (pint (fun p -> p.Profile.p_generated) pb);
+        scalar "duplicates"
+          (pint (fun p -> p.Profile.p_duplicates) pa)
+          (pint (fun p -> p.Profile.p_duplicates) pb);
+        scalar "dup ratio %"
+          (Option.bind pa dup_ratio)
+          (Option.bind pb dup_ratio);
+        scalar "peak worker skew %"
+          (pnum (fun p -> p.Profile.p_peak_worker_skew_pct) pa)
+          (pnum (fun p -> p.Profile.p_peak_worker_skew_pct) pb) ]
+    in
+    let events p =
+      match p with
+      | None -> []
+      | Some p ->
+        List.map
+          (fun (r : Profile.event_row) ->
+            (r.Profile.pe_key, float r.Profile.pe_duplicates))
+          p.Profile.p_by_event
+    in
+    let depths p =
+      match p with
+      | None -> []
+      | Some p ->
+        List.map
+          (fun (r : Profile.depth_row) ->
+            ( Printf.sprintf "depth %d" r.Profile.pd_depth,
+              float (r.Profile.pd_roots + r.Profile.pd_generated
+                     - r.Profile.pd_duplicates) ))
+          p.Profile.p_by_depth
+    in
+    let rate_drop =
+      match (throughput_of ra, throughput_of rb) with
+      | Some ta, Some tb -> Some (100. *. (ta -. tb) /. ta)
+      | _ -> None
+    in
+    let dup_rise =
+      match (Option.bind pa dup_ratio, Option.bind pb dup_ratio) with
+      | Some da, Some db -> Some (db -. da)
+      | _ -> None
+    in
+    Ok
+      { cmp_a = a;
+        cmp_b = b;
+        cmp_scalars = scalars;
+        cmp_events = align (events pa) (events pb);
+        cmp_depths = align (depths pa) (depths pb);
+        cmp_rate_drop_pct = rate_drop;
+        cmp_dup_rise_pp = dup_rise }
+
+let pp_cell ppf = function
+  | None -> Fmt.pf ppf "%12s" "-"
+  | Some v ->
+    if Float.is_integer v && Float.abs v < 1e12 then Fmt.pf ppf "%12.0f" v
+    else Fmt.pf ppf "%12.1f" v
+
+let pp_delta ppf (row : cmp_row) =
+  match (row.cr_a, row.cr_b) with
+  | Some a, Some b when a <> 0. ->
+    Fmt.pf ppf "%+9.1f%%" (100. *. (b -. a) /. a)
+  | Some _, Some _ -> Fmt.pf ppf "%10s" "-"
+  | _ -> Fmt.pf ppf "%10s" "-"
+
+let pp_rows ppf rows =
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "  %-22s %a %a %a@," row.cr_label pp_cell row.cr_a pp_cell
+        row.cr_b pp_delta row)
+    rows
+
+let pp_comparison ppf c =
+  Fmt.pf ppf "@[<v>comparing A=%s B=%s@," c.cmp_a c.cmp_b;
+  Fmt.pf ppf "  %-22s %12s %12s %10s@," "" "A" "B" "delta";
+  pp_rows ppf c.cmp_scalars;
+  if c.cmp_events <> [] then begin
+    Fmt.pf ppf "duplicate hits by event:@,";
+    pp_rows ppf c.cmp_events
+  end;
+  if c.cmp_depths <> [] then begin
+    Fmt.pf ppf "distinct states by depth:@,";
+    pp_rows ppf c.cmp_depths
+  end;
+  Fmt.pf ppf "@]"
+
+let regressions ?fail_rate_pct ?fail_dup_pp c =
+  let rate =
+    match (fail_rate_pct, c.cmp_rate_drop_pct) with
+    | Some thr, Some drop when drop > thr ->
+      [ Printf.sprintf
+          "throughput regressed %.1f%% (threshold %.1f%%)" drop thr ]
+    | Some thr, None ->
+      [ Printf.sprintf
+          "throughput threshold %.1f%% given but a run has no recorded \
+           states/s" thr ]
+    | _ -> []
+  in
+  let dup =
+    match (fail_dup_pp, c.cmp_dup_rise_pp) with
+    | Some thr, Some rise when rise > thr ->
+      [ Printf.sprintf
+          "duplicate ratio rose %.2f points (threshold %.2f)" rise thr ]
+    | Some thr, None ->
+      [ Printf.sprintf
+          "duplicate threshold %.2f given but a run has no profile" thr ]
+    | _ -> []
+  in
+  rate @ dup
+
+(* --- stats --follow ---------------------------------------------------- *)
+
+let render_sample j =
+  let get name = Option.value ~default:0. (num j name) in
+  let load =
+    match num j "visited_load_pct" with
+    | Some l -> Printf.sprintf ", table %.0f%% full" l
+    | None -> ""
+  in
+  Printf.sprintf
+    "t=%6.1fs layer %3.0f depth %3.0f  %8.0f distinct %8.0f generated \
+     frontier %7.0f%s"
+    (get "t_s") (get "layer") (get "depth") (get "distinct")
+    (get "generated") (get "frontier") load
+
+(* Tail the telemetry log: print what exists, then poll for growth until
+   the manifest leaves [Running] (or forever when there is no manifest —
+   interrupt with Ctrl-C). Partial trailing lines are retried on the next
+   poll rather than dropped. *)
+let follow ?(poll_s = 0.25) ~dir print =
+  let path = Filename.concat dir Telemetry.file in
+  let run_over () =
+    match Store.Manifest.load ~dir with
+    | Ok m -> m.Store.Manifest.m_status <> Store.Manifest.Running
+    | Error _ -> false
+  in
+  let buf = Buffer.create 256 in
+  let feed ic =
+    (* read whatever bytes are available, emitting completed lines *)
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      let n = input ic chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+      end
+    in
+    (try drain () with End_of_file -> ());
+    let s = Buffer.contents buf in
+    let parts = String.split_on_char '\n' s in
+    let rec emit = function
+      | [] -> Buffer.clear buf
+      | [ tail ] ->
+        Buffer.clear buf;
+        Buffer.add_string buf tail
+      | line :: rest ->
+        (if String.trim line <> "" then
+           match Store.Sjson.of_string line with
+           | Ok j when event_type j = "sample" -> print (render_sample j)
+           | Ok _ | Error _ -> ());
+        emit rest
+    in
+    emit parts
+  in
+  let rec wait_for_file tries =
+    if Sys.file_exists path then Some (open_in_bin path)
+    else if run_over () then None
+    else begin
+      Unix.sleepf poll_s;
+      if tries > 0 then wait_for_file (tries - 1) else None
+    end
+  in
+  match wait_for_file 240 with
+  | None -> Error (Printf.sprintf "%s: no telemetry recorded" path)
+  | Some ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop () =
+          feed ic;
+          if run_over () && Buffer.length buf = 0 then Ok ()
+          else begin
+            Unix.sleepf poll_s;
+            loop ()
+          end
+        in
+        loop ())

@@ -1,15 +1,68 @@
 (** Reader behind [sandtable stats <run-dir>]: loads whatever artefacts
-    the directory holds — manifest (v1 {e or} v2), [metrics.json],
-    [events.ndjsonl] — and pretty-prints a summary. Every artefact is
-    optional (a v1 run dir predating observability has only the manifest);
-    loading fails only when none are present. *)
+    the directory holds — manifest (any version), [metrics.json],
+    [events.ndjsonl], [profile.json], [telemetry.ndjsonl] — and
+    pretty-prints a summary. Every artefact is optional (a v1 run dir
+    predating observability has only the manifest); loading fails only
+    when none are present. Also hosts the run-vs-run diff behind
+    [stats --compare] and the live tail behind [stats --follow]. *)
 
 type t = {
   rp_dir : string;
   rp_manifest : (Store.Manifest.t, string) result option;
   rp_metrics : Store.Sjson.t option;  (** parsed [metrics.json] *)
   rp_events : (Store.Sjson.t list, string) result option;
+  rp_profile : (Profile.summary, string) result option;
+      (** parsed [profile.json] (PR-8+ runs) *)
+  rp_telemetry : (Store.Sjson.t list, string) result option;
+      (** raw [telemetry.ndjsonl] samples *)
 }
 
 val load : string -> (t, string) result
 val pp : Format.formatter -> t -> unit
+
+(** {2 Run-vs-run comparison} — [stats --compare A B]. *)
+
+type cmp_row = { cr_label : string; cr_a : float option; cr_b : float option }
+(** One aligned metric; a hole means that run lacks the artefact (or the
+    key — e.g. an event kind only one run ever expanded). *)
+
+type comparison = {
+  cmp_a : string;
+  cmp_b : string;
+  cmp_scalars : cmp_row list;
+      (** states/s, distinct, generated, duplicates, dup ratio, skew *)
+  cmp_events : cmp_row list;  (** duplicate hits per attribution key *)
+  cmp_depths : cmp_row list;  (** distinct states per depth *)
+  cmp_rate_drop_pct : float option;
+      (** how much slower B ran than A, percent (negative = faster) *)
+  cmp_dup_rise_pp : float option;
+      (** B's duplicate ratio minus A's, percentage points *)
+}
+
+val compare_runs : string -> string -> (comparison, string) result
+(** [compare_runs a b] loads both run directories and aligns their
+    metrics, A's ordering first. Fails only if a directory is not a run
+    directory at all — missing individual artefacts become holes. *)
+
+val pp_comparison : Format.formatter -> comparison -> unit
+
+val regressions :
+  ?fail_rate_pct:float -> ?fail_dup_pp:float -> comparison -> string list
+(** Human-readable regression verdicts, empty when B is within bounds.
+    [fail_rate_pct] trips when B's states/s dropped more than that percent
+    below A's; [fail_dup_pp] when B's duplicate ratio rose more than that
+    many percentage points. A threshold given against a run missing the
+    needed artefact is itself a failure (a gate that silently passes on
+    absent data is no gate). *)
+
+(** {2 Live tail} — [stats --follow]. *)
+
+val render_sample : Store.Sjson.t -> string
+(** One telemetry sample as a fixed-width human line. *)
+
+val follow : ?poll_s:float -> dir:string -> (string -> unit) -> (unit, string) result
+(** Print existing samples, then poll [telemetry.ndjsonl] for growth until
+    the manifest leaves [Running]; partial trailing lines are retried next
+    poll. Waits up to ~60s for the file to appear (the run may not have
+    reached its first layer barrier yet). Errors if no telemetry ever
+    appears. *)

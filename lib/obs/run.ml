@@ -18,6 +18,8 @@ type t = {
   collectors : Metrics.collector array;
   trace : Trace_writer.t option;
   events : Events.t option;
+  telemetry : Telemetry.t option;
+  profile : Profile.t;
   dir : string option;
   probe : Probe.t option;
   peak_frontier : int ref;
@@ -26,11 +28,15 @@ type t = {
 }
 
 let create ?(workers = 1) ?trace_out ?dir ?(trace_phases = default_trace_phases)
-    () =
+    ?(telemetry = Telemetry.default_cadence) () =
   let t0 = Unix.gettimeofday () in
   let workers = max 1 workers in
   Option.iter mkdir_p dir;
+  (* the watermark is process-global; a fresh run must not inherit the
+     phase a previous in-process run reached *)
+  Envgen.reset_phase_watermark ();
   let collectors = Metrics.create_collectors ~workers in
+  let profile = Profile.create ~workers in
   let trace =
     Option.map (fun path -> Trace_writer.create ~path ~t0) trace_out
   in
@@ -38,6 +44,14 @@ let create ?(workers = 1) ?trace_out ?dir ?(trace_phases = default_trace_phases)
     Option.map
       (fun d -> Events.create ~path:(Filename.concat d Events.file))
       dir
+  in
+  let telemetry =
+    match dir with
+    | Some d
+      when telemetry.Telemetry.tc_layers <> None
+           || telemetry.Telemetry.tc_seconds <> None ->
+      Some (Telemetry.create ~dir:d ~cadence:telemetry ~t0 ~workers)
+    | _ -> None
   in
   let peak_frontier = ref 0 in
   let layers = ref 0 in
@@ -80,13 +94,24 @@ let create ?(workers = 1) ?trace_out ?dir ?(trace_phases = default_trace_phases)
             ("generated", Num (float_of_int generated));
             ("frontier", Num (float_of_int frontier));
             ("elapsed_s", Num elapsed) ])
-      events
+      events;
+    (* the layer hook fires from the coordinator at the barrier — the
+       quiescent point the telemetry sampler requires *)
+    Option.iter
+      (fun tl ->
+        Telemetry.sample tl ~layer:!layers ~depth ~distinct ~generated
+          ~frontier ~collectors ~now:(Unix.gettimeofday ()))
+      telemetry
+  in
+  let s_edge ~worker ~depth ~event ~dup ~sym =
+    Profile.edge profile ~worker ~depth ~event ~dup ~sym
   in
   let probe =
     Some (Probe.make ~worker:0
-            { Probe.s_count; s_gauge; s_begin; s_end; s_span; s_layer })
+            { Probe.s_count; s_gauge; s_begin; s_end; s_span; s_layer;
+              s_edge })
   in
-  { workers; t0; collectors; trace; events; dir; probe;
+  { workers; t0; collectors; trace; events; telemetry; profile; dir; probe;
     peak_frontier; layers; finished = false }
 
 let probe t = t.probe
@@ -105,6 +130,7 @@ type summary = {
   s_barrier_idle_pct : float;
   s_layers : int;
   s_metrics : Metrics.summary;
+  s_profile : Profile.summary;
 }
 
 let manifest_metrics s =
@@ -112,12 +138,34 @@ let manifest_metrics s =
     mm_peak_frontier = s.s_peak_frontier;
     mm_barrier_idle_pct = s.s_barrier_idle_pct }
 
+let manifest_profile s =
+  { Store.Manifest.mp_dup_top_source = s.s_profile.Profile.p_dup_top_source;
+    mp_peak_worker_skew_pct = s.s_profile.Profile.p_peak_worker_skew_pct }
+
+(* Whether a permutation-list lookup hits the process-global cache depends
+   on domain scheduling (a lost CAS race recomputes) and on which runs
+   warmed it earlier in the process — so the engines report only the raw
+   lookup total, which is deterministic, and the hit/miss split is derived
+   here: a run explores one [nodes] value, so exactly one lookup is a cold
+   miss. *)
+let derive_perm_split (m : Metrics.summary) =
+  match List.assoc_opt "symmetry.perm_cache_lookups" m.Metrics.s_counters with
+  | None | Some 0 -> m
+  | Some lookups ->
+    let counters =
+      m.Metrics.s_counters
+      @ [ ("symmetry.perm_cache_hits", lookups - 1);
+          ("symmetry.perm_cache_misses", 1) ]
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    { m with Metrics.s_counters = counters }
+
 let finish t ~outcome ?(distinct = 0) ?(generated = 0) ?(max_depth = 0)
     ~duration () =
   t.finished <- true;
   let now = Unix.gettimeofday () in
   Array.iter (fun c -> Metrics.drain c ~now) t.collectors;
-  let m = Metrics.merge t.collectors in
+  let m = derive_perm_split (Metrics.merge t.collectors) in
   (* barrier-idle: share of worker time spent waiting at layer barriers,
      relative to productive phase time ("expand" for exploration, "walks"
      for simulation). 0 for sequential runs, which never wait. *)
@@ -129,13 +177,17 @@ let finish t ~outcome ?(distinct = 0) ?(generated = 0) ?(max_depth = 0)
     if busy +. wait <= 0. then 0. else 100. *. wait /. (busy +. wait)
   in
   let throughput = if duration > 0. then float generated /. duration else 0. in
+  let profile = Profile.summarize t.profile in
   let summary =
     { s_throughput = throughput;
       s_peak_frontier = !(t.peak_frontier);
       s_barrier_idle_pct = idle_pct;
       s_layers = !(t.layers);
-      s_metrics = m }
+      s_metrics = m;
+      s_profile = profile }
   in
+  Option.iter (fun d -> Profile.write ~dir:d profile) t.dir;
+  Option.iter Telemetry.close t.telemetry;
   Option.iter
     (fun d ->
       let open Store.Sjson in

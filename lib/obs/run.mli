@@ -26,9 +26,14 @@ val default_trace_phases : string list
 
 val create :
   ?workers:int -> ?trace_out:string -> ?dir:string ->
-  ?trace_phases:string list -> unit -> t
+  ?trace_phases:string list -> ?telemetry:Telemetry.cadence -> unit -> t
 (** [workers] sizes the collector array (default 1; out-of-range worker
-    indices fall back to collector 0). [dir] is created if missing. *)
+    indices fall back to collector 0). [dir] is created if missing. With a
+    run dir, a {!Telemetry} sampler writes [telemetry.ndjsonl] at the
+    cadence given (default: every layer; a cadence with both fields [None]
+    disables it), and an exploration {!Profile} is written as
+    [profile.json] by [finish]. Creating a run resets the
+    {!Sandtable.Envgen} fault-plan phase watermark. *)
 
 val probe : t -> Sandtable.Probe.t option
 (** Always [Some] — typed as an option to slot directly into
@@ -50,13 +55,21 @@ type summary = {
       (** barrier-wait time as % of (expand+walks) + barrier-wait *)
   s_layers : int;  (** layer records observed *)
   s_metrics : Metrics.summary;
+      (** merged counters/gauges/timers, with the symmetry perm-cache
+          hit/miss split derived from the deterministic lookup total (one
+          cold miss per run) rather than sampled per call *)
+  s_profile : Profile.summary;  (** exploration-shape profile *)
 }
 
 val finish :
   t -> outcome:string -> ?distinct:int -> ?generated:int -> ?max_depth:int ->
   duration:float -> unit -> summary
 (** Idempotent artefact finalization: drain collectors, merge, write
-    [metrics.json], append the "done" event, close trace and event files. *)
+    [metrics.json] and [profile.json], append the "done" event, close
+    trace, event and telemetry files. *)
 
 val manifest_metrics : summary -> Store.Manifest.metrics
 (** The summary trio in the shape the v2 manifest stores. *)
+
+val manifest_profile : summary -> Store.Manifest.profile
+(** The profile scalars the v5 manifest stores. *)

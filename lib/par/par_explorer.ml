@@ -54,29 +54,31 @@ module Run (S : Spec.S) = struct
     | Shard_set.Proot i -> Root i
     | Shard_set.Pstep (parent, event) -> Step { parent; event }
 
-  let fingerprint ?probe (opts : Explorer.options) (scenario : Scenario.t)
-      state =
+  (* Mirrors [Explorer.fingerprint_info]: the [bool] is the profiler's
+     per-edge [sym] flag (canonicalization changed the fingerprint). *)
+  let fingerprint_info ?probe (opts : Explorer.options)
+      (scenario : Scenario.t) state =
     let b0 = if Probe.is_on probe then Fingerprint.marshalled_bytes () else 0 in
-    let fp =
+    let fp, sym =
       if opts.symmetry && S.permutable then begin
         Probe.span_begin probe "symmetry-normalize";
-        let fp =
-          Symmetry.canonical_fp ?probe ~who:S.name ~permute:S.permute
+        let r =
+          Symmetry.canonical_fp_info ?probe ~who:S.name ~permute:S.permute
             ~nodes:scenario.Scenario.nodes state
         in
         Probe.span_end probe "symmetry-normalize";
-        fp
+        r
       end
       else begin
         Probe.span_begin probe "fingerprint";
         let fp = Fingerprint.of_state ~who:S.name state in
         Probe.span_end probe "fingerprint";
-        fp
+        (fp, false)
       end
     in
     if Probe.is_on probe then
       Probe.count probe "fp.bytes" (Fingerprint.marshalled_bytes () - b0);
-    fp
+    (fp, sym)
 
   let final_state scenario init_index events =
     let s0 = List.nth (S.init scenario) init_index in
@@ -226,9 +228,13 @@ module Run (S : Spec.S) = struct
       List.iteri
         (fun i s ->
           if !outcome = None then begin
-            let fp = fingerprint ?probe opts scenario s in
-            if Shard_set.add_seed visited fp (Shard_set.Proot i) ~depth:0
-            then begin
+            let fp, sym = fingerprint_info ?probe opts scenario s in
+            let inserted =
+              Shard_set.add_seed visited fp (Shard_set.Proot i) ~depth:0
+            in
+            if Probe.is_on probe then
+              Probe.edge probe ~depth:0 ~event:None ~dup:(not inserted) ~sym;
+            if inserted then begin
               incr distinct_total;
               (match first_broken s with
               | Some inv when opts.stop_on_violation ->
@@ -310,13 +316,18 @@ module Run (S : Spec.S) = struct
                    List.iteri
                      (fun j (event, state') ->
                        incr gen;
-                       let fp' = fingerprint ?probe:wp opts scenario state' in
+                       let fp', sym =
+                         fingerprint_info ?probe:wp opts scenario state'
+                       in
                        if
                          Shard_set.merge visited fp'
                            ~prov:(Shard_set.Pstep (fp, event))
                            ~depth:(d + 1) ~pos:(p, j) ~state:state'
                        then begin
                          incr ins;
+                         if Probe.is_on wp then
+                           Probe.edge wp ~depth:(d + 1) ~event:(Some event)
+                             ~dup:false ~sym;
                          my_inserted := fp' :: !my_inserted;
                          if opts.stop_on_violation then begin
                            Probe.span_begin wp "invariant";
@@ -327,7 +338,12 @@ module Run (S : Spec.S) = struct
                            Probe.span_end wp "invariant"
                          end
                        end
-                       else Probe.count wp "fp.dup" 1)
+                       else begin
+                         Probe.count wp "fp.dup" 1;
+                         if Probe.is_on wp then
+                           Probe.edge wp ~depth:(d + 1) ~event:(Some event)
+                             ~dup:true ~sym
+                       end)
                      succs;
                    match deadline with
                    | Some t
@@ -339,6 +355,7 @@ module Run (S : Spec.S) = struct
               inserted.(w) <- !my_inserted;
               cands.(w) <- !my_cands;
               layer_gen.(w) <- !gen;
+              Probe.count wp "expand.states" !expanded;
               st_expanded.(w) <- st_expanded.(w) + !expanded;
               st_generated.(w) <- st_generated.(w) + !gen;
               st_inserted.(w) <- st_inserted.(w) + !ins;
@@ -437,6 +454,16 @@ module Run (S : Spec.S) = struct
             in
             frontier := Array.of_list (List.map (fun (_, s, fp) -> s, fp) next);
             depth := d + 1;
+            (* refresh visited gauges before the layer record so the
+               telemetry sampler reads this layer's values *)
+            if Probe.is_on probe then begin
+              Probe.gauge probe "visited.entries"
+                (float_of_int (Shard_set.length visited));
+              Probe.gauge probe "visited.capacity"
+                (float_of_int (Shard_set.capacity visited));
+              Probe.gauge probe "visited.store_bytes"
+                (float_of_int (Shard_set.store_bytes visited))
+            end;
             Probe.layer probe ~depth:(d + 1) ~distinct:!distinct_total
               ~generated:!gen_prev ~frontier:(Array.length !frontier)
               ~elapsed:(elapsed ());

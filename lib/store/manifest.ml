@@ -15,6 +15,13 @@ type shrink = {
   ms_trace : string option;
 }
 
+(* Exploration-profile scalars (v5); the full histograms live in the run
+   directory's profile.json. *)
+type profile = {
+  mp_dup_top_source : string option;
+  mp_peak_worker_skew_pct : float;
+}
+
 type t = {
   m_version : int;
   m_system : string;
@@ -36,9 +43,10 @@ type t = {
   m_metrics : metrics option;
   m_shrink : shrink option;
   m_faults : string option;
+  m_profile : profile option;
 }
 
-let version = 4
+let version = 5
 let file = "manifest.json"
 
 let status_string = function
@@ -84,7 +92,8 @@ let make ~system ~scenario ~identity ~engine ~workers ~flags =
     m_trace = None;
     m_metrics = None;
     m_shrink = None;
-    m_faults = None }
+    m_faults = None;
+    m_profile = None }
 
 let to_json t =
   let open Sjson in
@@ -119,18 +128,28 @@ let to_json t =
               [ ("states_per_sec", Num m.mm_states_per_sec);
                 ("peak_frontier", Num (float_of_int m.mm_peak_frontier));
                 ("barrier_idle_pct", Num m.mm_barrier_idle_pct) ] ) ])
+    @ (match t.m_shrink with
+      | None -> []
+      | Some s ->
+        [ ( "shrink",
+            Sjson.Obj
+              ([ ("original_events", Num (float_of_int s.ms_original));
+                 ("minimized_events", Num (float_of_int s.ms_minimized)) ]
+              @
+              match s.ms_trace with
+              | None -> []
+              | Some t -> [ ("trace", Str t) ]) ) ])
     @
-    match t.m_shrink with
+    match t.m_profile with
     | None -> []
-    | Some s ->
-      [ ( "shrink",
+    | Some p ->
+      [ ( "profile",
           Sjson.Obj
-            ([ ("original_events", Num (float_of_int s.ms_original));
-               ("minimized_events", Num (float_of_int s.ms_minimized)) ]
+            ([ ("peak_worker_skew_pct", Num p.mp_peak_worker_skew_pct) ]
             @
-            match s.ms_trace with
+            match p.mp_dup_top_source with
             | None -> []
-            | Some t -> [ ("trace", Str t) ]) ) ] )
+            | Some k -> [ ("dup_top_source", Str k) ]) ) ] )
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -206,6 +225,23 @@ let of_json j =
       | _ -> None)
     | _ -> None
   in
+  (* absent before v5 — older manifests load with [m_profile = None] *)
+  let m_profile =
+    match Sjson.member "profile" j with
+    | Some (Sjson.Obj _ as pj) -> (
+      match
+        Option.bind (Sjson.member "peak_worker_skew_pct" pj) Sjson.to_num
+      with
+      | Some skew ->
+        Some
+          { mp_peak_worker_skew_pct = skew;
+            mp_dup_top_source =
+              (match Sjson.member "dup_top_source" pj with
+              | Some (Sjson.Str s) -> Some s
+              | _ -> None) }
+      | None -> None)
+    | _ -> None
+  in
   Ok
     { m_version;
       m_system;
@@ -227,7 +263,8 @@ let of_json j =
       m_metrics;
       m_shrink;
       (* absent before v4 — older manifests load with [m_faults = None] *)
-      m_faults = opt_str "faults" }
+      m_faults = opt_str "faults";
+      m_profile }
 
 let save ~dir t =
   mkdir_p dir;

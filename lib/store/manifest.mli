@@ -27,8 +27,19 @@ type shrink = {
 (** Counterexample-shrinking summary (schema v3; absent in older
     manifests, which load with the field [None]). *)
 
+type profile = {
+  mp_dup_top_source : string option;
+      (** the (event kind × node / node-pair) attribution key with the
+          most duplicate hits, e.g. ["deliver n1>n2"]; [None] when the run
+          saw no duplicates *)
+  mp_peak_worker_skew_pct : float;
+      (** how far the busiest worker's edge count sat above the mean *)
+}
+(** Exploration-profile scalars (schema v5); the per-depth and per-event
+    histograms live in the run directory's [profile.json]. *)
+
 type t = {
-  m_version : int;  (** manifest schema version, currently 4 *)
+  m_version : int;  (** manifest schema version, currently 5 *)
   m_system : string;
   m_scenario : string;
   m_identity : string;  (** identity digest ({!Checkpoint.digest_hex}) *)
@@ -53,6 +64,8 @@ type t = {
       (** canonical fault-schedule source (schema v4) when the run was
           driven by one; lets resume and shrink replay the same schedule.
           Absent in older manifests, which load with [None]. *)
+  m_profile : profile option;
+      (** [None] for uninstrumented runs and all pre-v5 manifests *)
 }
 
 val version : int

@@ -87,6 +87,11 @@ let make ?dir ?probe ~window stats_ref =
     Probe.span_end probe "spill-io";
     Probe.count probe "spill.chunk_writes" 1;
     Probe.count probe "spill.items_spilled" (Array.length items);
+    (* stat only when instrumented: the size feeds telemetry's spill-bytes
+       series and is not worth a syscall on uninstrumented runs *)
+    if Probe.is_on probe then
+      (try Probe.count probe "spill.bytes_written" (Unix.stat path).st_size
+       with Unix.Unix_error _ -> ());
     Queue.add (path, Array.length items) chunks;
     let s = !stats_ref in
     stats_ref :=

@@ -117,6 +117,67 @@ let test_clean_check_exit_zero () =
   check_contains "summary on stdout" out "distinct=";
   check_contains "header on stderr" err "model checking pysyncobj"
 
+let test_stats_compare_and_follow () =
+  with_tmpdir (fun tmp ->
+      let a = Filename.concat tmp "a" and b = Filename.concat tmp "b" in
+      let check dir =
+        run_cli
+          [ "check"; "pysyncobj"; "-t"; "30"; "--max-states"; "3000";
+            "--progress-every"; "1s"; "--run-dir"; dir ]
+      in
+      let code, _, _ = check a in
+      Alcotest.(check int) "run A exits 0" 0 code;
+      let code, _, _ = check b in
+      Alcotest.(check int) "run B exits 0" 0 code;
+      (* the instrumented run left both new artefacts behind *)
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) (f ^ " written") true
+            (Sys.file_exists (Filename.concat a f)))
+        [ "telemetry.ndjsonl"; "profile.json" ];
+      (* plain stats renders the profile sections *)
+      let code, out, _ = run_cli [ "stats"; a ] in
+      Alcotest.(check int) "stats exit 0" 0 code;
+      check_contains "profile rendered" out "top duplicate source";
+      check_contains "telemetry summarized" out "telemetry:";
+      (* compare: identical configurations diff to +0.0% on exploration
+         shape (timing-derived rows are free to differ) *)
+      let code, out, _ = run_cli [ "stats"; "--compare"; a; b ] in
+      Alcotest.(check int) "compare exit 0" 0 code;
+      check_contains "side-by-side header" out "delta";
+      check_contains "dup ratio row" out "dup ratio %";
+      check_contains "identical shape" out "+0.0%";
+      (* gate: a dup-ratio rise of 0pp trips a -1pp threshold (exit 1)
+         and passes a +5pp one (exit 0) — deterministic, unlike rate *)
+      let code, _, err =
+        run_cli [ "stats"; "--compare"; a; b; "--fail-threshold-dup=-1.0" ]
+      in
+      Alcotest.(check int) "regression gate trips" 1 code;
+      check_contains "verdict on stderr" err "regression";
+      let code, _, _ =
+        run_cli [ "stats"; "--compare"; a; b; "--fail-threshold-dup"; "5.0" ]
+      in
+      Alcotest.(check int) "gate passes in bounds" 0 code;
+      (* --follow on a finished run prints every sample and exits *)
+      let code, out, _ = run_cli [ "stats"; "--follow"; a ] in
+      Alcotest.(check int) "follow exit 0" 0 code;
+      check_contains "samples printed" out "layer";
+      (* --compare without a second directory is a usage error *)
+      let code, _, _ = run_cli [ "stats"; "--compare"; a ] in
+      Alcotest.(check int) "compare needs two dirs" 2 code)
+
+let test_bad_cadence_usage () =
+  let code, _, err =
+    run_cli [ "check"; "pysyncobj"; "--progress-every"; "2x" ]
+  in
+  Alcotest.(check int) "bad progress cadence exits 2" 2 code;
+  check_contains "stderr explains" err "--progress-every";
+  let code, _, err =
+    run_cli [ "check"; "pysyncobj"; "--telemetry-every"; "fast" ]
+  in
+  Alcotest.(check int) "bad telemetry cadence exits 2" 2 code;
+  check_contains "stderr explains" err "--telemetry-every"
+
 let test_stats_missing_dir_usage () =
   let code, _, err = run_cli [ "stats"; "/nonexistent/run-dir" ] in
   Alcotest.(check int) "exit 2" 2 code;
@@ -172,6 +233,8 @@ let suite =
       case "unknown flag: exit 2" test_unknown_flag_usage;
       case "check+shrink+runs+stats round trip" test_check_finds_bug_and_records;
       case "clean check: exit 0" test_clean_check_exit_zero;
+      case "stats compare/follow round trip" test_stats_compare_and_follow;
+      case "bad cadence flags: exit 2" test_bad_cadence_usage;
       case "stats on missing dir: exit 2" test_stats_missing_dir_usage;
       case "shrink on missing dir: exit 2" test_shrink_missing_dir_usage;
       case "unknown fault schedule: exit 2" test_faults_unknown_schedule_usage;

@@ -23,11 +23,6 @@ let with_tmpdir f =
 let spec = Toy_spec.spec ()
 let scenario = Toy_spec.scenario ~nodes:2 ~timeouts:4
 
-(* Counters whose split (not sum) is scheduling-dependent: two domains can
-   race the symmetry permutation cache and both record a miss. Everything
-   else must be exactly reproducible at any worker count. *)
-let racy = [ "symmetry.perm_cache_hits"; "symmetry.perm_cache_misses" ]
-
 let check_with_workers ?dir ?trace_out workers =
   let obs = Obs.Run.create ~workers ?dir ?trace_out () in
   let opts = { Explorer.default with probe = Obs.Run.probe obs } in
@@ -53,11 +48,10 @@ let test_merge_determinism () =
       [ 1; 2; 4 ]
   in
   let _, r1, s1 = List.hd runs in
-  let stable (s : Obs.Run.summary) =
-    List.filter
-      (fun (name, _) -> not (List.mem name racy))
-      s.s_metrics.Obs.Metrics.s_counters
-  in
+  (* every counter, including the perm-cache hit/miss split: engines count
+     only lookups (a deterministic total) and Run.finish derives the split
+     as lookups − 1 hits / 1 cold miss, so no counter is worker-racy *)
+  let stable (s : Obs.Run.summary) = s.s_metrics.Obs.Metrics.s_counters in
   List.iter
     (fun (j, r, s) ->
       Alcotest.(check int) (Fmt.str "j%d distinct" j) r1.Explorer.distinct
@@ -270,7 +264,11 @@ let test_manifest_v3_roundtrip () =
             Some
               { Store.Manifest.ms_original = 54;
                 ms_minimized = 12;
-                ms_trace = Some "minimized.trace" }
+                ms_trace = Some "minimized.trace" };
+          m_profile =
+            Some
+              { Store.Manifest.mp_dup_top_source = Some "deliver n1>n2";
+                mp_peak_worker_skew_pct = 7.5 }
         }
       in
       Store.Manifest.save ~dir m;
@@ -288,7 +286,7 @@ let test_manifest_v3_roundtrip () =
             mm.Store.Manifest.mm_peak_frontier;
           Alcotest.(check (float 1e-9)) "barrier_idle_pct" 3.25
             mm.Store.Manifest.mm_barrier_idle_pct);
-        match m'.Store.Manifest.m_shrink with
+        (match m'.Store.Manifest.m_shrink with
         | None -> Alcotest.fail "shrink summary lost on roundtrip"
         | Some s ->
           Alcotest.(check int) "shrink original" 54
@@ -296,7 +294,230 @@ let test_manifest_v3_roundtrip () =
           Alcotest.(check int) "shrink minimized" 12
             s.Store.Manifest.ms_minimized;
           Alcotest.(check (option string)) "shrink trace"
-            (Some "minimized.trace") s.Store.Manifest.ms_trace)
+            (Some "minimized.trace") s.Store.Manifest.ms_trace);
+        match m'.Store.Manifest.m_profile with
+        | None -> Alcotest.fail "profile summary lost on roundtrip"
+        | Some p ->
+          Alcotest.(check (option string)) "dup top source"
+            (Some "deliver n1>n2") p.Store.Manifest.mp_dup_top_source;
+          Alcotest.(check (float 1e-9)) "peak worker skew" 7.5
+            p.Store.Manifest.mp_peak_worker_skew_pct)
+
+(* ---- telemetry: layer-aligned fields deterministic across -j ---------- *)
+
+let sample_fields r =
+  let num name =
+    match Option.bind (Store.Sjson.member name r) Store.Sjson.to_int with
+    | Some n -> n
+    | None -> Alcotest.failf "sample missing %s" name
+  in
+  ( num "layer",
+    num "depth",
+    num "distinct",
+    num "generated",
+    num "frontier",
+    num "fault_phase" )
+
+let telemetry_samples dir =
+  match Obs.Events.read_all (Filename.concat dir Obs.Telemetry.file) with
+  | Error m -> Alcotest.failf "telemetry unreadable: %s" m
+  | Ok records ->
+    List.filter
+      (fun r ->
+        Option.bind (Store.Sjson.member "type" r) Store.Sjson.to_str
+        = Some "sample")
+      records
+
+let test_telemetry_layer_aligned () =
+  (* the counts a sample carries at each layer barrier are facts about the
+     exploration, not the schedule: identical at every worker count (the
+     rates, GC and per-worker split around them are diagnostic only) *)
+  let runs =
+    List.map
+      (fun j ->
+        with_tmpdir (fun dir ->
+            let _ = check_with_workers ~dir j in
+            (j, List.map sample_fields (telemetry_samples dir))))
+      [ 1; 2; 4 ]
+  in
+  let _, base = List.hd runs in
+  Alcotest.(check bool) "samples recorded" true (base <> []);
+  List.iter
+    (fun (j, fields) ->
+      Alcotest.(check int)
+        (Fmt.str "j%d sample count" j)
+        (List.length base) (List.length fields);
+      List.iter2
+        (fun (l1, d1, di1, g1, f1, p1) (l2, d2, di2, g2, f2, p2) ->
+          Alcotest.(check (list int))
+            (Fmt.str "j%d layer-aligned fields" j)
+            [ l1; d1; di1; g1; f1; p1 ]
+            [ l2; d2; di2; g2; f2; p2 ])
+        base fields)
+    (List.tl runs)
+
+(* ---- profile: duplicates reconcile with generated − distinct ---------- *)
+
+let reconcile label (r : Explorer.result) (p : Obs.Profile.summary) =
+  Alcotest.(check int)
+    (label ^ ": generated agrees")
+    r.Explorer.generated p.Obs.Profile.p_generated;
+  Alcotest.(check int)
+    (label ^ ": distinct agrees")
+    r.Explorer.distinct p.Obs.Profile.p_distinct;
+  Alcotest.(check int)
+    (label ^ ": distinct = roots + generated − duplicates")
+    (p.Obs.Profile.p_roots + p.Obs.Profile.p_generated
+    - p.Obs.Profile.p_duplicates)
+    p.Obs.Profile.p_distinct;
+  let sum f rows = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Alcotest.(check int)
+    (label ^ ": per-depth generated sums")
+    p.Obs.Profile.p_generated
+    (sum (fun (d : Obs.Profile.depth_row) -> d.pd_generated)
+       p.Obs.Profile.p_by_depth);
+  Alcotest.(check int)
+    (label ^ ": per-depth duplicates sum")
+    p.Obs.Profile.p_duplicates
+    (sum (fun (d : Obs.Profile.depth_row) -> d.pd_duplicates)
+       p.Obs.Profile.p_by_depth);
+  Alcotest.(check int)
+    (label ^ ": per-event expansions sum to generated")
+    p.Obs.Profile.p_generated
+    (sum (fun (e : Obs.Profile.event_row) -> e.pe_expansions)
+       p.Obs.Profile.p_by_event);
+  Alcotest.(check int)
+    (label ^ ": per-event duplicates sum")
+    p.Obs.Profile.p_duplicates
+    (sum (fun (e : Obs.Profile.event_row) -> e.pe_duplicates)
+       p.Obs.Profile.p_by_event)
+
+let test_profile_reconciles_and_roundtrips () =
+  List.iter
+    (fun j ->
+      with_tmpdir (fun dir ->
+          let result, summary = check_with_workers ~dir j in
+          let p = summary.Obs.Run.s_profile in
+          reconcile (Fmt.str "j%d" j) result p;
+          (* identical shape at every worker count *)
+          let p1 =
+            let r1, s1 = check_with_workers 1 in
+            reconcile "seq" r1 s1.Obs.Run.s_profile;
+            s1.Obs.Run.s_profile
+          in
+          Alcotest.(check int) (Fmt.str "j%d duplicates match seq" j)
+            p1.Obs.Profile.p_duplicates p.Obs.Profile.p_duplicates;
+          (* expansion attribution is a fact about the state graph (every
+             generated edge has a fixed parent event), so it is identical
+             at any worker count; which same-layer generator of a shared
+             fingerprint gets counted as the duplicate is schedule-
+             dependent, so per-event duplicate splits are compared only in
+             total *)
+          Alcotest.(check bool)
+            (Fmt.str "j%d expansion attribution matches seq" j)
+            true
+            (List.map
+               (fun (e : Obs.Profile.event_row) -> (e.pe_key, e.pe_expansions))
+               p1.Obs.Profile.p_by_event
+            = List.map
+                (fun (e : Obs.Profile.event_row) ->
+                  (e.pe_key, e.pe_expansions))
+                p.Obs.Profile.p_by_event);
+          (* finish wrote profile.json; it reloads to the same summary *)
+          match Obs.Profile.load ~dir with
+          | Error m -> Alcotest.failf "profile.json unreadable: %s" m
+          | Ok p' ->
+            Alcotest.(check int) "roundtrip distinct"
+              p.Obs.Profile.p_distinct p'.Obs.Profile.p_distinct;
+            Alcotest.(check (option string)) "roundtrip top source"
+              p.Obs.Profile.p_dup_top_source p'.Obs.Profile.p_dup_top_source))
+    [ 1; 4 ]
+
+let test_profile_reconciles_all_systems () =
+  (* the identity is structural — it must hold on every integrated system,
+     including budget-capped runs that stop mid-layer *)
+  List.iter
+    (fun (sys : Systems.Registry.t) ->
+      let spec = sys.spec Systems.Bug.Flags.empty in
+      let obs = Obs.Run.create ~workers:1 () in
+      let opts =
+        { Explorer.default with
+          max_states = Some 2000;
+          probe = Obs.Run.probe obs }
+      in
+      let result = Explorer.check spec sys.default_scenario opts in
+      let summary =
+        Obs.Run.finish obs ~outcome:"test" ~distinct:result.distinct
+          ~generated:result.generated ~max_depth:result.max_depth
+          ~duration:result.duration ()
+      in
+      reconcile sys.name result summary.Obs.Run.s_profile)
+    Systems.Registry.all
+
+(* ---- events: trailing partial line tolerated, interior corruption not - *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let has_infix hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+let test_events_torn_tail () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "events.ndjsonl" in
+      write_file path
+        "{\"type\":\"layer\",\"depth\":1}\n{\"type\":\"layer\",\"depth\":2}\n{\"type\":\"lay";
+      (match Obs.Events.read_all path with
+      | Ok records ->
+        Alcotest.(check int) "torn tail: completed records kept" 2
+          (List.length records)
+      | Error m -> Alcotest.failf "torn tail rejected: %s" m);
+      (* corruption with records after it is not a torn tail *)
+      write_file path
+        "{\"type\":\"layer\",\"depth\":1}\n{oops\n{\"type\":\"layer\",\"depth\":2}\n";
+      match Obs.Events.read_all path with
+      | Ok _ -> Alcotest.fail "interior corruption accepted"
+      | Error m ->
+        Alcotest.(check bool) "error cites the line" true (has_infix m ":2:"))
+
+(* ---- progress cadence parsing and ETA --------------------------------- *)
+
+let test_progress_cadence () =
+  (match Obs.Progress.parse_cadence "0" with
+  | Ok Obs.Progress.Never -> ()
+  | _ -> Alcotest.fail "\"0\" should disable");
+  (match Obs.Progress.parse_cadence "5000" with
+  | Ok (Obs.Progress.Every_states 5000) -> ()
+  | _ -> Alcotest.fail "\"5000\" should be a state count");
+  (match Obs.Progress.parse_cadence "2s" with
+  | Ok (Obs.Progress.Every_seconds 2.) -> ()
+  | _ -> Alcotest.fail "\"2s\" should be a duration");
+  (match Obs.Progress.parse_cadence "0.5s" with
+  | Ok (Obs.Progress.Every_seconds 0.5) -> ()
+  | _ -> Alcotest.fail "\"0.5s\" should be a duration");
+  (match Obs.Progress.parse_cadence "2x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "\"2x\" should be rejected");
+  let line =
+    Obs.Progress.line ~label:"check[t]" ~unit_name:"distinct" ~count:250
+      ~total:1000 ~elapsed:1.0 ()
+  in
+  Alcotest.(check bool) "percent rendered" true
+    (has_infix line "25% of 1000");
+  Alcotest.(check bool) "ETA rendered" true
+    (has_infix line "ETA 3s");
+  let bare =
+    Obs.Progress.line ~label:"check[t]" ~unit_name:"distinct" ~count:250
+      ~elapsed:1.0 ()
+  in
+  Alcotest.(check bool) "no total, no ETA" false
+    (has_infix bare "ETA")
 
 (* ---- probe off = same exploration ------------------------------------- *)
 
@@ -317,6 +538,14 @@ let suite =
       case "trace file is valid JSON with nested spans"
         test_trace_valid_and_nested;
       case "events.ndjsonl matches explorer counters" test_events_match_result;
+      case "telemetry layer fields deterministic across -j"
+        test_telemetry_layer_aligned;
+      case "profile reconciles and roundtrips"
+        test_profile_reconciles_and_roundtrips;
+      case "profile reconciles on every system"
+        test_profile_reconciles_all_systems;
+      case "events tolerate a torn tail" test_events_torn_tail;
+      case "progress cadence parsing and ETA" test_progress_cadence;
       case "stats tolerates v1 run dirs" test_stats_on_v1_run_dir;
       case "manifest metrics+shrink roundtrip" test_manifest_v3_roundtrip;
       case "probe changes nothing about exploration"
