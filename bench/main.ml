@@ -33,12 +33,17 @@ type bench_entry = {
   be_section : string;
   be_system : string;
   be_workers : int;
+  be_engine : string;  (** "seq", "par" (layer-synchronous) or "ws" *)
+  be_cores : int;  (** cores available when the row ran; gates refuse
+                       rows with [be_cores < be_workers] *)
   be_distinct : int;
   be_generated : int;
   be_wall_s : float;
   be_outcome : string;
   be_extra : (string * float) list;  (** section-specific numeric fields *)
 }
+
+let machine_cores = Domain.recommended_domain_count ()
 
 let bench_entries : bench_entry list ref = ref []
 let record_entry e = bench_entries := e :: !bench_entries
@@ -78,9 +83,11 @@ let write_bench_json () =
         in
         p
           "    { \"section\": %S, \"system\": %S, \"workers\": %d, \
-           \"distinct\": %d, \"generated\": %d, \"states_per_sec\": %.1f, \
-           \"wall_s\": %.3f, \"outcome\": %S%s }%s\n"
-          e.be_section e.be_system e.be_workers e.be_distinct e.be_generated
+           \"engine\": %S, \"cores\": %d, \"distinct\": %d, \
+           \"generated\": %d, \"states_per_sec\": %.1f, \"wall_s\": %.3f, \
+           \"outcome\": %S%s }%s\n"
+          e.be_section e.be_system e.be_workers e.be_engine e.be_cores
+          e.be_distinct e.be_generated
           (states_per_sec e.be_distinct e.be_wall_s)
           e.be_wall_s e.be_outcome extra
           (if i = List.length entries - 1 then "" else ","))
@@ -312,11 +319,13 @@ let table3 () =
       let per_min = float e2.distinct /. e2.duration *. 60. in
       record_entry
         { be_section = "table3-exp1"; be_system = sys.name; be_workers = 1;
+          be_engine = "seq"; be_cores = machine_cores;
           be_distinct = e1.distinct; be_generated = e1.generated;
           be_wall_s = e1.duration; be_outcome = outcome_tag e1.outcome;
           be_extra = [] };
       record_entry
         { be_section = "table3-exp2"; be_system = sys.name; be_workers = 1;
+          be_engine = "seq"; be_cores = machine_cores;
           be_distinct = e2.distinct; be_generated = e2.generated;
           be_wall_s = e2.duration; be_outcome = outcome_tag e2.outcome;
           be_extra = [] };
@@ -529,17 +538,26 @@ let ablation () =
 (* Scaling: the multicore exploration engine (lib/par)                  *)
 (* ------------------------------------------------------------------ *)
 
-(* States/sec of the layer-synchronous parallel BFS at 1/2/4/8 workers.
-   Every worker count explores the same deterministic state set (the par
-   engine is sequential-equivalent), so wall time is directly comparable;
-   workers = 1 runs the sequential engine as the baseline. On a single-core
-   container the curve plateaus near 1x — the "cores" field in
-   BENCH_explore.json records how much hardware parallelism was available. *)
-let scaling () =
+(* States/sec at 1/2/4/8 workers, one sub-section per parallel engine:
+   "scaling" is the layer-synchronous BFS (the --strict-bfs engine),
+   "scaling-after" the barrier-free work-stealing engine. Workers = 1 runs
+   the sequential engine as the common baseline. On a single-core
+   container both curves plateau near 1x — every row records the "cores"
+   available when it ran, and rows with workers > cores are oversubscribed
+   (they measure the OS scheduler) so scaling gates refuse them. *)
+let scaling_engine ~section ~engine_name ~footer check_at =
   section_header
-    (Fmt.str "Scaling: parallel BFS states/sec vs workers (%d cores available)"
-       (Domain.recommended_domain_count ()));
+    (Fmt.str "Scaling (%s): %s states/sec vs workers (%d cores available)"
+       section engine_name machine_cores);
   let worker_counts = [ 1; 2; 4; 8 ] in
+  (match List.filter (fun w -> w > machine_cores) worker_counts with
+  | [] -> ()
+  | over ->
+    Fmt.pr
+      "note: worker counts %s exceed the %d available cores — those rows \
+       are oversubscribed and excluded from scaling gates@."
+      (String.concat "/" (List.map string_of_int over))
+      machine_cores);
   let widths = [ 10; 8; 11; 11; 12; 9; 9 ] in
   row widths
     [ "System"; "Workers"; "Distinct"; "Generated"; "states/sec"; "Wall";
@@ -555,14 +573,14 @@ let scaling () =
       let base_rate = ref 0. in
       List.iter
         (fun workers ->
-          let r =
-            if workers = 1 then Explorer.check spec scenario opts
-            else (Par.Par_explorer.check ~workers spec scenario opts).base
-          in
-          let rate = states_per_sec r.distinct r.duration in
+          let r = check_at spec scenario opts workers in
+          let rate = states_per_sec r.Explorer.distinct r.Explorer.duration in
           if workers = 1 then base_rate := rate;
           record_entry
-            { be_section = "scaling"; be_system = sys.name; be_workers = workers;
+            { be_section = section; be_system = sys.name;
+              be_workers = workers;
+              be_engine = (if workers = 1 then "seq" else engine_name);
+              be_cores = machine_cores;
               be_distinct = r.distinct; be_generated = r.generated;
               be_wall_s = r.duration; be_outcome = outcome_tag r.outcome;
               be_extra = [] };
@@ -578,11 +596,30 @@ let scaling () =
           Fmt.pr "%!")
         worker_counts)
     R.scaling;
-  Fmt.pr
-    "(workers=1 is the sequential engine; >1 the lib/par layer-synchronous \
-     BFS over a %d-shard fingerprint store; identical distinct counts across \
-     rows of a system confirm sequential-equivalence)@."
-    64
+  Fmt.pr "%s@." footer
+
+let scaling () =
+  scaling_engine ~section:"scaling" ~engine_name:"par"
+    ~footer:
+      "(workers=1 is the sequential engine; >1 the lib/par \
+       layer-synchronous BFS over a 64-shard fingerprint store; identical \
+       distinct counts across rows of a system confirm \
+       sequential-equivalence)"
+    (fun spec scenario opts workers ->
+      if workers = 1 then Explorer.check spec scenario opts
+      else (Par.Par_explorer.check ~workers spec scenario opts).base)
+
+let scaling_after () =
+  scaling_engine ~section:"scaling-after" ~engine_name:"ws"
+    ~footer:
+      "(workers=1 is the sequential engine; >1 the barrier-free \
+       work-stealing engine. Distinct counts match across rows only when \
+       every row exhausted — a time budget cuts schedule-dependent \
+       prefixes, so budgeted totals differ while exhaustive totals are \
+       worker-count-invariant)"
+    (fun spec scenario opts workers ->
+      if workers = 1 then Explorer.check spec scenario opts
+      else (Par.Ws_explorer.check ~workers spec scenario opts).Par.Ws_explorer.base)
 
 (* ------------------------------------------------------------------ *)
 (* Memory: visited-store footprint in bytes per state                   *)
@@ -721,7 +758,9 @@ let memory () =
           let bps = float m.mr_heap_bytes /. float (max 1 m.mr_distinct) in
           record_entry
             { be_section = "memory"; be_system = sys.name;
-              be_workers = workers; be_distinct = m.mr_distinct;
+              be_workers = workers;
+              be_engine = (if workers = 1 then "seq" else "par");
+              be_cores = machine_cores; be_distinct = m.mr_distinct;
               be_generated = m.mr_generated; be_wall_s = m.mr_wall;
               be_outcome = m.mr_outcome;
               be_extra =
@@ -808,6 +847,7 @@ let checkpoint_bench () =
       in
       record_entry
         { be_section = "checkpoint"; be_system = "pysyncobj"; be_workers = 1;
+          be_engine = "seq"; be_cores = machine_cores;
           be_distinct = r.distinct; be_generated = r.generated;
           be_wall_s = r.duration; be_outcome = outcome_tag r.outcome;
           be_extra =
@@ -941,6 +981,7 @@ let obs_bench () =
       in
       record_entry
         { be_section = "obs"; be_system = "pysyncobj"; be_workers = 1;
+          be_engine = "seq"; be_cores = machine_cores;
           be_distinct = r.distinct; be_generated = r.generated;
           be_wall_s = r.duration; be_outcome = outcome_tag r.outcome;
           be_extra =
@@ -1024,6 +1065,7 @@ let shrink_bench () =
         in
         record_entry
           { be_section = "shrink"; be_system = name; be_workers = 1;
+            be_engine = "seq"; be_cores = machine_cores;
             be_distinct = 0; be_generated = sh.tried;
             be_wall_s = sh.duration; be_outcome = "violation";
             be_extra =
@@ -1103,6 +1145,7 @@ let faults_bench () =
   let print_row name (r : Explorer.result) wall overhead =
     record_entry
       { be_section = "faults"; be_system = sys.name; be_workers = 1;
+        be_engine = "seq"; be_cores = machine_cores;
         be_distinct = r.distinct; be_generated = r.generated; be_wall_s = wall;
         be_outcome = outcome_tag r.outcome;
         be_extra =
@@ -1193,6 +1236,7 @@ let sections =
     "fig7", fig7;
     "ablation", ablation;
     "scaling", scaling;
+    "scaling-after", scaling_after;
     "memory", memory;
     "checkpoint", checkpoint_bench;
     "obs", obs_bench;

@@ -53,12 +53,26 @@ let seed_arg =
 
 let workers_arg =
   let doc =
-    "Worker domains (default 1; 0 = one per core). Results do not depend on \
-     $(docv): check is bit-for-bit equivalent to the sequential engine, and \
-     simulate/conform walks are derived from --seed and the walk index \
-     alone."
+    "Worker domains (default 1; 0 = one per core). check runs the \
+     work-stealing engine at $(docv) > 1: exhaustive-run totals \
+     (distinct/generated) and verdicts are identical at every worker \
+     count, but discovery depth and order may differ — pass \
+     $(b,--strict-bfs) for bit-for-bit layer order. simulate/conform \
+     walks are derived from --seed and the walk index alone, so $(docv) \
+     never changes their results."
   in
   Arg.(value & opt int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
+
+let strict_bfs_arg =
+  let doc =
+    "Use the strict layer-synchronous BFS engines even at -j > 1: \
+     bit-for-bit reproducible exploration order, minimal-depth \
+     counterexamples, and layered checkpoints every engine can resume — \
+     at the cost of a full barrier per layer (worse worker scaling). \
+     Refuses (exit 2) to resume a checkpoint written by the \
+     work-stealing engine, whose frontier has no layer structure."
+  in
+  Arg.(value & flag & info [ "strict-bfs" ] ~doc)
 
 let run_dir_arg =
   let doc =
@@ -69,7 +83,9 @@ let run_dir_arg =
 
 let checkpoint_every_arg =
   let doc =
-    "Checkpoint every $(docv) BFS layers into --run-dir (0 disables)."
+    "Checkpoint every $(docv) BFS layers — or, under the work-stealing \
+     engine, every $(docv) quiescent pulses — into --run-dir (0 \
+     disables)."
   in
   Arg.(value & opt int 16 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
 
@@ -106,9 +122,10 @@ let max_states_arg =
 
 let telemetry_every_arg =
   let doc =
-    "With --run-dir: sample telemetry.ndjsonl every $(docv) BFS layers, or \
-     on a wall-clock cadence with a duration suffix ($(b,5s)). Default: \
-     every layer; 0 disables the sampler."
+    "With --run-dir: sample telemetry.ndjsonl every $(docv) BFS layers \
+     (work-stealing engine: quiescent pulses), or on a wall-clock cadence \
+     with a duration suffix ($(b,5s)) — which also sets the pulse period. \
+     Default: every layer; 0 disables the sampler."
   in
   Arg.(
     value & opt string "1" & info [ "telemetry-every" ] ~docv:"K|Ks" ~doc)
@@ -283,8 +300,9 @@ let try_shrink ~workers ?probe spec scenario oracle events =
     None
 
 let check_cmd =
-  let run name bugs time nodes workers run_dir every resume spill_window
-      progress_every max_states telemetry_every trace_out do_shrink faults =
+  let run name bugs time nodes workers strict_bfs run_dir every resume
+      spill_window progress_every max_states telemetry_every trace_out
+      do_shrink faults =
     with_system name bugs (fun sys flags ->
         with_parsed "--progress-every" Obs.Progress.parse_cadence
           progress_every
@@ -399,19 +417,55 @@ let check_cmd =
                    checkpointed state once@."
                   snap.Explorer.snap_kernel Fingerprint.kernel_id)
             resume_snap;
+          let resume_unordered =
+            match resume_snap with
+            | Some { Explorer.snap_mode = Explorer.Unordered; _ } -> true
+            | _ -> false
+          in
+          if strict_bfs && resume_unordered then begin
+            Fmt.epr
+              "checkpoint frontier mode is unordered (written by the \
+               work-stealing engine) but --strict-bfs demands layered \
+               frontiers; resume without --strict-bfs, or start fresh@.";
+            Store.Exit_code.usage
+          end
+          else begin
+          (* Engine choice: strict layer-synchronous BFS on demand (or at
+             -j1, where it is also the fastest), the barrier-free
+             work-stealing engine otherwise — and whenever the checkpoint
+             being resumed has an unordered frontier, which only that
+             engine can restore. *)
+          let engine =
+            if strict_bfs then if workers = 1 then `Seq else `Par
+            else if workers > 1 || resume_unordered then `Ws
+            else `Seq
+          in
+          if engine = `Ws && workers = 1 && resume_unordered then
+            Fmt.epr
+              "note: unordered checkpoint — continuing with the \
+               work-stealing engine at 1 worker@.";
+          let engine_str =
+            match engine with `Seq -> "seq" | `Par -> "par" | `Ws -> "ws"
+          in
+          let cores = Domain.recommended_domain_count () in
+          if cores < workers then
+            Fmt.epr
+              "note: %d workers on %d cores — oversubscribed; throughput \
+               figures will not be gated on this run@."
+              workers cores;
           let manifest =
             Option.map
               (fun dir ->
                 let m =
                   Store.Manifest.make ~system:sys.name ~scenario:scenario.name
                     ~identity:(Store.Checkpoint.digest_hex identity)
-                    ~engine:(if workers = 1 then "seq" else "par")
-                    ~workers
+                    ~engine:engine_str ~workers ~cores
                     ~flags:
                       [ ("bugs", bug_flags);
                         ("nodes", string_of_int scenario.nodes);
                         ("spill_window", string_of_int spill_window);
                         ("checkpoint_every", string_of_int every) ]
+                    ()
                 in
                 (* the canonical schedule source rides in the manifest so
                    resume and shrink replay the same fault plan *)
@@ -426,10 +480,19 @@ let check_cmd =
                 m)
               run_dir
           in
+          let shard_gauges shard_stats =
+            (* fingerprint-table occupancy per shard, as end-of-run gauges *)
+            Array.iteri
+              (fun i (st : Par.Shard_set.stat) ->
+                Probe.gauge probe
+                  (Printf.sprintf "fptable.shard%02d.entries" i)
+                  (float_of_int st.s_entries))
+              shard_stats
+          in
           let result =
-            if workers = 1 then
-              Explorer.check ?resume:resume_snap spec scenario opts
-            else begin
+            match engine with
+            | `Seq -> Explorer.check ?resume:resume_snap spec scenario opts
+            | `Par ->
               let r =
                 Par.Par_explorer.check ~workers ?resume:resume_snap spec
                   scenario opts
@@ -437,15 +500,19 @@ let check_cmd =
               Fmt.epr "parallel BFS: %d workers, %d layers@." r.workers
                 r.layers;
               Fmt.epr "%a" Par.Par_explorer.pp_worker_stats r;
-              (* fingerprint-table occupancy per shard, as end-of-run gauges *)
-              Array.iteri
-                (fun i (st : Par.Shard_set.stat) ->
-                  Probe.gauge probe
-                    (Printf.sprintf "fptable.shard%02d.entries" i)
-                    (float_of_int st.s_entries))
-                r.shard_stats;
+              shard_gauges r.shard_stats;
               r.base
-            end
+            | `Ws ->
+              (* a wall-clock telemetry cadence doubles as the pulse
+                 period, so samples land exactly when asked for *)
+              let pulse_every = telemetry.Obs.Telemetry.tc_seconds in
+              let r =
+                Par.Ws_explorer.check ~workers ?pulse_every
+                  ?resume:resume_snap spec scenario opts
+              in
+              Fmt.epr "%a@." Par.Ws_explorer.pp_result r;
+              shard_gauges r.shard_stats;
+              r.base
           in
           Fmt.pr "%a@." Explorer.pp_result result;
           (* shrink before Obs.Run.finish so its counters and spans land
@@ -540,14 +607,15 @@ let check_cmd =
             in
             Fmt.pr "%a@." Replay.pp_confirmation confirmation
           | _ -> ());
-          Store.Exit_code.of_outcome result.outcome)
+          Store.Exit_code.of_outcome result.outcome
+          end)
   in
   let doc = "Model-check a system's specification (BFS) and confirm bugs." in
   Cmd.v (Cmd.info "check" ~doc ~exits)
     Term.(
       const run $ system_arg $ bugs_arg $ time_budget_arg $ nodes_arg
-      $ workers_arg $ run_dir_arg $ checkpoint_every_arg $ resume_arg
-      $ spill_window_arg $ progress_every_arg $ max_states_arg
+      $ workers_arg $ strict_bfs_arg $ run_dir_arg $ checkpoint_every_arg
+      $ resume_arg $ spill_window_arg $ progress_every_arg $ max_states_arg
       $ telemetry_every_arg $ trace_out_arg $ shrink_arg $ faults_arg)
 
 (* --- runs: list recorded runs ----------------------------------------- *)

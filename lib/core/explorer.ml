@@ -2,13 +2,23 @@ type provenance =
   | Root of int  (* index into the init-state list *)
   | Step of { parent : Fingerprint.t; event : Trace.event }
 
-(* A layer-barrier image of the explorer: everything needed to continue the
-   BFS bit-for-bit. Frontier states are not stored — each one is recovered
-   on resume by replaying its provenance chain (which is deterministic, and
-   keeps snapshots free of Marshal'd spec states). [snap_kernel] records
-   the fingerprint kernel the snapshot's fingerprints came from; resuming
-   under a different kernel first rebuilds every fingerprint by replaying
-   provenance chains ([migrate_snapshot]). *)
+(* Which engine discipline produced the frontier. [Layered]: all frontier
+   states share [snap_depth] (a strict-BFS layer barrier). [Unordered]:
+   frontier states carry heterogeneous depths (a work-stealing quiescent
+   point) — each one's depth is recovered from the visited set, and
+   [snap_depth] is only the minimum. Strict-BFS engines refuse to resume
+   an [Unordered] snapshot (the layer invariant cannot be restored); the
+   work-stealing engine resumes either kind. *)
+type frontier_mode = Layered | Unordered
+
+(* A quiescent-point image of the explorer: everything needed to continue
+   the exploration (bit-for-bit for [Layered] snapshots). Frontier states
+   are not stored — each one is recovered on resume by replaying its
+   provenance chain (which is deterministic, and keeps snapshots free of
+   Marshal'd spec states). [snap_kernel] records the fingerprint kernel
+   the snapshot's fingerprints came from; resuming under a different
+   kernel first rebuilds every fingerprint by replaying provenance chains
+   ([migrate_snapshot]). *)
 type snapshot = {
   snap_depth : int;
   snap_frontier : Fingerprint.t list;
@@ -16,6 +26,7 @@ type snapshot = {
   snap_generated : int;
   snap_max_depth : int;
   snap_kernel : int;
+  snap_mode : frontier_mode;
   snap_visited : (Fingerprint.t -> provenance -> int -> unit) -> unit;
 }
 
@@ -289,6 +300,13 @@ module Run (S : Spec.S) = struct
   let check ?resume scenario opts =
     let started = Unix.gettimeofday () in
     let probe = opts.probe in
+    (match resume with
+    | Some { snap_mode = Unordered; _ } ->
+      invalid_arg
+        "Explorer: checkpoint frontier mode is unordered (written by the \
+         work-stealing engine); the strict-BFS engine cannot restore its \
+         layer invariant — resume without --strict-bfs, or start fresh"
+    | _ -> ());
     let resume =
       Option.map
         (fun (snap : snapshot) ->
@@ -419,6 +437,7 @@ module Run (S : Spec.S) = struct
         snap_generated = !generated;
         snap_max_depth = !max_depth_seen;
         snap_kernel = Fingerprint.kernel_id;
+        snap_mode = Layered;
         snap_visited =
           (fun k ->
             Fp_store.iter visited (fun _ fp prov depth ->

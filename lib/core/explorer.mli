@@ -12,6 +12,17 @@ type provenance =
     reconstruct counterexample traces, and replay deterministically to the
     concrete state (the checkpoint/resume mechanism relies on this). *)
 
+type frontier_mode =
+  | Layered
+      (** every frontier state sits at [snap_depth] — a strict-BFS layer
+          barrier; resumable by any engine *)
+  | Unordered
+      (** frontier states carry heterogeneous depths (work-stealing
+          quiescent point, [snap_depth] = their minimum; per-state depths
+          live in the visited set). Only the work-stealing engine can
+          resume it — strict-BFS engines refuse with a named error. *)
+(** Which frontier discipline produced a snapshot. *)
+
 type snapshot = {
   snap_depth : int;  (** the layer the frontier belongs to *)
   snap_frontier : Fingerprint.t list;  (** in BFS (sequential pop) order *)
@@ -21,15 +32,17 @@ type snapshot = {
   snap_kernel : int;
       (** the {!Fingerprint.kernel_id} that produced the snapshot's
           fingerprints *)
+  snap_mode : frontier_mode;
   snap_visited : (Fingerprint.t -> provenance -> int -> unit) -> unit;
       (** iterate the visited set: fingerprint, provenance, depth. The
           iterator may stream over live or on-disk data — consume it
           immediately. *)
 }
-(** A layer-barrier image of an exploration. Taken via [on_layer], persisted
-    by [Store.Checkpoint], and fed back through [check ~resume] to continue
-    a run bit-for-bit (frontier states are recovered by replaying their
-    provenance chains, so snapshots contain only codec-friendly data). *)
+(** A quiescent-point image of an exploration. Taken via [on_layer],
+    persisted by [Store.Checkpoint], and fed back through [check ~resume]
+    to continue a run — bit-for-bit for [Layered] snapshots (frontier
+    states are recovered by replaying their provenance chains, so
+    snapshots contain only codec-friendly data). *)
 
 type 'a frontier_ops = {
   fr_push : 'a -> unit;
@@ -112,7 +125,9 @@ val check : ?resume:snapshot -> Spec.t -> Scenario.t -> options -> result
     options the snapshot was taken under ([Store.Checkpoint] enforces this
     with an identity hash). A snapshot whose [snap_kernel] differs from the
     current {!Fingerprint.kernel_id} is migrated transparently first (see
-    {!migrate_snapshot}). *)
+    {!migrate_snapshot}). Resuming an [Unordered] snapshot raises
+    [Invalid_argument] naming the mode mismatch — the sequential engine
+    cannot restore the layer invariant; use the work-stealing engine. *)
 
 val migrate_snapshot : Spec.t -> Scenario.t -> options -> snapshot -> snapshot
 (** Rebuild a snapshot taken under a different fingerprint kernel: every

@@ -10,6 +10,7 @@ type sink = {
   s_edge :
     worker:int -> depth:int -> event:Trace.event option -> dup:bool ->
     sym:bool -> unit;
+  s_edge_fix : worker:int -> depth:int -> event:Trace.event option -> unit;
 }
 
 type t = { worker : int; sink : sink }
@@ -56,6 +57,11 @@ let edge p ~depth ~event ~dup ~sym =
   match p with
   | None -> ()
   | Some t -> t.sink.s_edge ~worker:t.worker ~depth ~event ~dup ~sym
+
+let edge_fix p ~depth ~event =
+  match p with
+  | None -> ()
+  | Some t -> t.sink.s_edge_fix ~worker:t.worker ~depth ~event
 
 let span p name f =
   match p with

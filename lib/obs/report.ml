@@ -84,11 +84,23 @@ let pp_events ppf records =
       (get "depth") (get "distinct") (get "frontier")
   | [] -> ()
 
+(* A cumulative counter out of metrics.json ("metrics" -> "counters"),
+   summed across workers by Metrics at write time. *)
+let metrics_counter m name =
+  Option.bind (Store.Sjson.member "metrics" m) (fun mj ->
+      Option.bind (Store.Sjson.member "counters" mj) (fun cj ->
+          Option.bind (Store.Sjson.member name cj) Store.Sjson.to_num))
+
 let pp_metrics ppf m =
   let fnum name = Option.value ~default:0. (num m name) in
   Fmt.pf ppf "throughput: %.0f states/s@," (fnum "throughput_states_per_sec");
   Fmt.pf ppf "peak frontier: %.0f, layers: %.0f, barrier idle: %.1f%%@,"
     (fnum "peak_frontier") (fnum "layers") (fnum "barrier_idle_pct");
+  (match metrics_counter m "steal.count" with
+  | Some steals ->
+    Fmt.pf ppf "steals: %.0f (%.0f failed attempts)@," steals
+      (Option.value ~default:0. (metrics_counter m "steal.failed"))
+  | None -> ());
   match
     Option.bind (Store.Sjson.member "metrics" m) (Store.Sjson.member "timers")
   with
@@ -155,6 +167,10 @@ type comparison = {
       (** how much slower B ran than A, percent (negative = faster) *)
   cmp_dup_rise_pp : float option;
       (** B's duplicate ratio minus A's, percentage points *)
+  cmp_oversubscribed : string list;
+      (** one message per run whose manifest records fewer cores than
+          workers — throughput gates refuse such rows (they measure the
+          OS scheduler, not the engine) *)
 }
 
 let throughput_of r =
@@ -211,6 +227,33 @@ let compare_runs a b =
         scalar "peak worker skew %"
           (pnum (fun p -> p.Profile.p_peak_worker_skew_pct) pa)
           (pnum (fun p -> p.Profile.p_peak_worker_skew_pct) pb) ]
+      @
+      (* steal counters exist only for work-stealing runs; omit the rows
+         entirely when neither side recorded them *)
+      let steal name =
+        let get r = Option.bind r.rp_metrics (fun m -> metrics_counter m name)
+        in
+        (get ra, get rb)
+      in
+      match (steal "steal.count", steal "steal.failed") with
+      | (None, None), (None, None) -> []
+      | (ca, cb), (fa, fb) ->
+        [ scalar "steals" ca cb; scalar "steals failed" fa fb ]
+    in
+    let oversubscribed =
+      List.filter_map
+        (fun (label, r) ->
+          match r.rp_manifest with
+          | Some (Ok m)
+            when m.Store.Manifest.m_cores > 0
+                 && m.Store.Manifest.m_cores < m.Store.Manifest.m_workers ->
+            Some
+              (Printf.sprintf
+                 "%s=%s ran %d workers on %d cores (oversubscribed)" label
+                 r.rp_dir m.Store.Manifest.m_workers
+                 m.Store.Manifest.m_cores)
+          | _ -> None)
+        [ ("A", ra); ("B", rb) ]
     in
     let events p =
       match p with
@@ -249,7 +292,8 @@ let compare_runs a b =
         cmp_events = align (events pa) (events pb);
         cmp_depths = align (depths pa) (depths pb);
         cmp_rate_drop_pct = rate_drop;
-        cmp_dup_rise_pp = dup_rise }
+        cmp_dup_rise_pp = dup_rise;
+        cmp_oversubscribed = oversubscribed }
 
 let pp_cell ppf = function
   | None -> Fmt.pf ppf "%12s" "-"
@@ -275,6 +319,9 @@ let pp_comparison ppf c =
   Fmt.pf ppf "@[<v>comparing A=%s B=%s@," c.cmp_a c.cmp_b;
   Fmt.pf ppf "  %-22s %12s %12s %10s@," "" "A" "B" "delta";
   pp_rows ppf c.cmp_scalars;
+  List.iter
+    (fun msg -> Fmt.pf ppf "note: %s@," msg)
+    c.cmp_oversubscribed;
   if c.cmp_events <> [] then begin
     Fmt.pf ppf "duplicate hits by event:@,";
     pp_rows ppf c.cmp_events
@@ -287,15 +334,23 @@ let pp_comparison ppf c =
 
 let regressions ?fail_rate_pct ?fail_dup_pp c =
   let rate =
-    match (fail_rate_pct, c.cmp_rate_drop_pct) with
-    | Some thr, Some drop when drop > thr ->
-      [ Printf.sprintf
-          "throughput regressed %.1f%% (threshold %.1f%%)" drop thr ]
-    | Some thr, None ->
-      [ Printf.sprintf
-          "throughput threshold %.1f%% given but a run has no recorded \
-           states/s" thr ]
-    | _ -> []
+    (* refuse to gate throughput on oversubscribed rows: a run with more
+       workers than cores measures the OS scheduler, not the engine *)
+    match (fail_rate_pct, c.cmp_oversubscribed) with
+    | Some _, (_ :: _ as over) ->
+      List.map
+        (Printf.sprintf "refusing to gate throughput: %s")
+        over
+    | _ -> (
+      match (fail_rate_pct, c.cmp_rate_drop_pct) with
+      | Some thr, Some drop when drop > thr ->
+        [ Printf.sprintf
+            "throughput regressed %.1f%% (threshold %.1f%%)" drop thr ]
+      | Some thr, None ->
+        [ Printf.sprintf
+            "throughput threshold %.1f%% given but a run has no recorded \
+             states/s" thr ]
+      | _ -> [])
   in
   let dup =
     match (fail_dup_pp, c.cmp_dup_rise_pp) with

@@ -30,13 +30,18 @@ type comparison = {
   cmp_a : string;
   cmp_b : string;
   cmp_scalars : cmp_row list;
-      (** states/s, distinct, generated, duplicates, dup ratio, skew *)
+      (** states/s, distinct, generated, duplicates, dup ratio, skew,
+          plus steal counters when either run recorded them *)
   cmp_events : cmp_row list;  (** duplicate hits per attribution key *)
   cmp_depths : cmp_row list;  (** distinct states per depth *)
   cmp_rate_drop_pct : float option;
       (** how much slower B ran than A, percent (negative = faster) *)
   cmp_dup_rise_pp : float option;
       (** B's duplicate ratio minus A's, percentage points *)
+  cmp_oversubscribed : string list;
+      (** one message per run whose manifest records fewer cores than
+          workers; {!regressions} refuses to gate throughput on such
+          rows *)
 }
 
 val compare_runs : string -> string -> (comparison, string) result
@@ -53,7 +58,9 @@ val regressions :
     below A's; [fail_dup_pp] when B's duplicate ratio rose more than that
     many percentage points. A threshold given against a run missing the
     needed artefact is itself a failure (a gate that silently passes on
-    absent data is no gate). *)
+    absent data is no gate), and a throughput threshold against a run
+    whose manifest shows fewer cores than workers is refused by name —
+    oversubscribed rows measure the OS scheduler, not the engine. *)
 
 (** {2 Live tail} — [stats --follow]. *)
 

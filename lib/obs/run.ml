@@ -3,8 +3,8 @@ open Sandtable
 let metrics_file = "metrics.json"
 
 let default_trace_phases =
-  [ "expand"; "barrier-wait"; "walks"; "replay"; "checkpoint"; "spill-io";
-    "shrink"; "shrink-eval" ]
+  [ "expand"; "barrier-wait"; "steal-wait"; "walks"; "replay"; "checkpoint";
+    "spill-io"; "shrink"; "shrink-eval" ]
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -106,10 +106,13 @@ let create ?(workers = 1) ?trace_out ?dir ?(trace_phases = default_trace_phases)
   let s_edge ~worker ~depth ~event ~dup ~sym =
     Profile.edge profile ~worker ~depth ~event ~dup ~sym
   in
+  let s_edge_fix ~worker ~depth ~event =
+    Profile.fix profile ~worker ~depth ~event
+  in
   let probe =
     Some (Probe.make ~worker:0
             { Probe.s_count; s_gauge; s_begin; s_end; s_span; s_layer;
-              s_edge })
+              s_edge; s_edge_fix })
   in
   { workers; t0; collectors; trace; events; telemetry; profile; dir; probe;
     peak_frontier; layers; finished = false }
@@ -166,13 +169,16 @@ let finish t ~outcome ?(distinct = 0) ?(generated = 0) ?(max_depth = 0)
   let now = Unix.gettimeofday () in
   Array.iter (fun c -> Metrics.drain c ~now) t.collectors;
   let m = derive_perm_split (Metrics.merge t.collectors) in
-  (* barrier-idle: share of worker time spent waiting at layer barriers,
-     relative to productive phase time ("expand" for exploration, "walks"
-     for simulation). 0 for sequential runs, which never wait. *)
+  (* barrier-idle: share of worker time spent waiting — at layer barriers
+     (strict BFS) or idle-stealing (work-stealing engine) — relative to
+     productive phase time ("expand" for exploration, "walks" for
+     simulation). 0 for sequential runs, which never wait. *)
   let busy =
     Metrics.timer_total m "expand" +. Metrics.timer_total m "walks"
   in
-  let wait = Metrics.timer_total m "barrier-wait" in
+  let wait =
+    Metrics.timer_total m "barrier-wait" +. Metrics.timer_total m "steal-wait"
+  in
   let idle_pct =
     if busy +. wait <= 0. then 0. else 100. *. wait /. (busy +. wait)
   in

@@ -29,6 +29,9 @@ type wprev = {
   mutable wp_states : int;
   mutable wp_expand : float;
   mutable wp_barrier : float;
+  mutable wp_steal_wait : float;
+  mutable wp_steals : int;
+  mutable wp_steal_failed : int;
 }
 
 type t = {
@@ -47,7 +50,8 @@ let create ~dir ~cadence ~t0 ~workers =
     cadence;
     prev =
       Array.init (max 1 workers) (fun _ ->
-          { wp_states = 0; wp_expand = 0.; wp_barrier = 0. });
+          { wp_states = 0; wp_expand = 0.; wp_barrier = 0.;
+            wp_steal_wait = 0.; wp_steals = 0; wp_steal_failed = 0 });
     last_t = t0;
     samples = 0;
     closed = false }
@@ -79,18 +83,38 @@ let sample t ~layer ~depth ~distinct ~generated ~frontier ~collectors ~now =
              let states = Metrics.counter_of c "expand.states" in
              let expand = Metrics.timer_total_of c "expand" in
              let barrier = Metrics.timer_total_of c "barrier-wait" in
+             let steal_wait = Metrics.timer_total_of c "steal-wait" in
+             let steals = Metrics.counter_of c "steal.count" in
+             let steal_failed = Metrics.counter_of c "steal.failed" in
              let d_states = states - p.wp_states in
              let d_expand = expand -. p.wp_expand in
              let d_barrier = barrier -. p.wp_barrier in
+             let d_steal_wait = steal_wait -. p.wp_steal_wait in
+             let d_steals = steals - p.wp_steals in
+             let d_steal_failed = steal_failed - p.wp_steal_failed in
              p.wp_states <- states;
              p.wp_expand <- expand;
              p.wp_barrier <- barrier;
+             p.wp_steal_wait <- steal_wait;
+             p.wp_steals <- steals;
+             p.wp_steal_failed <- steal_failed;
+             (* queue depth is a work-stealing gauge set at each pulse;
+                absent (strict engines) it is simply omitted *)
+             let qdepth =
+               match Metrics.gauge_last_of c "queue.depth" with
+               | Some v -> [ ("queue_depth", int (int_of_float v)) ]
+               | None -> []
+             in
              Obj
-               [ ("states", int d_states);
-                 ( "states_per_s",
-                   Num (if dt > 0. then float d_states /. dt else 0.) );
-                 ("expand_s", Num d_expand);
-                 ("barrier_wait_s", Num d_barrier) ])
+               ([ ("states", int d_states);
+                  ( "states_per_s",
+                    Num (if dt > 0. then float d_states /. dt else 0.) );
+                  ("expand_s", Num d_expand);
+                  ("barrier_wait_s", Num d_barrier);
+                  ("steal_wait_s", Num d_steal_wait);
+                  ("steals", int d_steals);
+                  ("steal_failed", int d_steal_failed) ]
+               @ qdepth))
            collectors)
     in
     let sum_counter name =
@@ -127,6 +151,8 @@ let sample t ~layer ~depth ~distinct ~generated ~frontier ~collectors ~now =
            ("generated", int generated);
            ("frontier", int frontier);
            ("spill_bytes", int (sum_counter "spill.bytes_written"));
+           ("steal_count", int (sum_counter "steal.count"));
+           ("steal_failed", int (sum_counter "steal.failed"));
            ("fault_phase", int (Envgen.phase_watermark ())) ]
         @ opt_num "visited_load_pct" load_pct
         @ opt_num "visited_bytes_per_state" bytes_per_state

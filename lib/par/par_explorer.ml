@@ -144,6 +144,13 @@ module Run (S : Spec.S) = struct
     let elapsed () = Unix.gettimeofday () -. started in
     let workers = Pool.size pool in
     let probe = opts.probe in
+    (match resume with
+    | Some { Explorer.snap_mode = Explorer.Unordered; _ } ->
+      invalid_arg
+        "Par_explorer: checkpoint frontier mode is unordered (written by \
+         the work-stealing engine); the strict-BFS engine cannot restore \
+         its layer invariant — resume without --strict-bfs, or start fresh"
+    | _ -> ());
     let resume =
       Option.map
         (fun (snap : Explorer.snapshot) ->
@@ -253,6 +260,7 @@ module Run (S : Spec.S) = struct
         snap_generated = !gen_prev;
         snap_max_depth = !max_depth_seen;
         snap_kernel = Fingerprint.kernel_id;
+        snap_mode = Explorer.Layered;
         snap_visited =
           (fun k ->
             Shard_set.iter visited (fun fp prov depth ->
@@ -319,11 +327,12 @@ module Run (S : Spec.S) = struct
                        let fp', sym =
                          fingerprint_info ?probe:wp opts scenario state'
                        in
-                       if
+                       match
                          Shard_set.merge visited fp'
                            ~prov:(Shard_set.Pstep (fp, event))
                            ~depth:(d + 1) ~pos:(p, j) ~state:state'
-                       then begin
+                       with
+                       | Shard_set.Fresh ->
                          incr ins;
                          if Probe.is_on wp then
                            Probe.edge wp ~depth:(d + 1) ~event:(Some event)
@@ -337,13 +346,23 @@ module Run (S : Spec.S) = struct
                            | None -> ());
                            Probe.span_end wp "invariant"
                          end
-                       end
-                       else begin
+                       | Shard_set.Dup_kept ->
                          Probe.count wp "fp.dup" 1;
                          if Probe.is_on wp then
                            Probe.edge wp ~depth:(d + 1) ~event:(Some event)
                              ~dup:true ~sym
-                       end)
+                       | Shard_set.Dup_replaced { old_event; old_depth } ->
+                         (* this arrival is the minimal (depth, pos) edge —
+                            the one sequential BFS keeps; the displaced
+                            discovering edge, already reported fresh by the
+                            insertion-race winner, is the real duplicate *)
+                         Probe.count wp "fp.dup" 1;
+                         if Probe.is_on wp then begin
+                           Probe.edge wp ~depth:(d + 1) ~event:(Some event)
+                             ~dup:false ~sym;
+                           Probe.edge_fix wp ~depth:old_depth
+                             ~event:old_event
+                         end)
                      succs;
                    match deadline with
                    | Some t

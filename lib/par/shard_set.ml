@@ -51,6 +51,11 @@ type 's t = { shards : 's shard array; mask : int }
 
 type stat = { s_entries : int; s_hits : int }
 
+type merge_outcome =
+  | Fresh
+  | Dup_kept
+  | Dup_replaced of { old_event : Trace.event option; old_depth : int }
+
 let rec power_of_two n = if n <= 1 then 1 else 2 * power_of_two ((n + 1) / 2)
 
 let dummy_event = Trace.Heal
@@ -195,7 +200,7 @@ let merge t fp ~prov ~depth ~pos:(p, j) ~state =
       let slot = find_slot s fp in
       if s.slots.(slot) = 0 then begin
         insert_fresh s slot fp prov ~depth ~packed ~state:(Some state);
-        true
+        Fresh
       end
       else begin
         let e = s.slots.(slot) - 1 in
@@ -205,9 +210,20 @@ let merge t fp ~prov ~depth ~pos:(p, j) ~state =
            always the one the stored chain replays to (under symmetry two
            distinct concrete states can share a fingerprint) *)
         let od = depth_of s e in
-        if depth < od || (depth = od && packed < s.pos.(e)) then
+        if depth < od || (depth = od && packed < s.pos.(e)) then begin
+          (* the displaced entry's discovering edge had been reported as
+             fresh by whichever worker won the insertion race; hand its
+             identity back so the caller can re-attribute it as the
+             duplicate it turned out to be *)
+          let old_event =
+            match prov_of s e with
+            | Proot _ -> None
+            | Pstep (_, ev) -> Some ev
+          in
           set_entry s e fp prov ~depth ~packed ~state:(Some state);
-        false
+          Dup_replaced { old_event; old_depth = od }
+        end
+        else Dup_kept
       end)
 
 let add_seed t fp prov ~depth =
@@ -219,7 +235,10 @@ let add_seed t fp prov ~depth =
         insert_fresh s slot fp prov ~depth ~packed:0 ~state:None;
         true
       end
-      else false)
+      else begin
+        s.hits <- s.hits + 1;
+        false
+      end)
 
 let with_entry t fp f =
   let s = shard_of t fp in
@@ -236,6 +255,8 @@ let find_pos t fp =
   match with_entry t fp (fun s e -> unpack s.pos.(e)) with
   | Some p -> p
   | None -> raise Not_found
+
+let find_depth_opt t fp = with_entry t fp depth_of
 
 let take_state t fp =
   match

@@ -28,6 +28,15 @@ type stat = {
   s_hits : int;  (** dedup hits: inserts that found an existing entry *)
 }
 
+type merge_outcome =
+  | Fresh  (** the fingerprint was new; the entry was inserted *)
+  | Dup_kept  (** already present, and the stored entry kept its place *)
+  | Dup_replaced of { old_event : Sandtable.Trace.event option; old_depth : int }
+      (** already present, but the new [(depth, pos)] was strictly smaller
+          and displaced the stored entry; [old_event]/[old_depth] identify
+          the displaced discovering edge ([None] = a root) so the caller
+          can re-attribute it as the duplicate it turned out to be *)
+
 val create : ?shards:int -> unit -> 's t
 (** [create ~shards ()] with [shards] rounded up to a power of two
     (default 64, max 65536). *)
@@ -36,22 +45,23 @@ val shard_count : 's t -> int
 
 val merge :
   's t -> Sandtable.Fingerprint.t -> prov:prov -> depth:int ->
-  pos:int * int -> state:'s -> bool
-(** Atomically insert a layer candidate and return [true], or — if the
-    fingerprint is already present — return [false], replacing the stored
-    provenance, depth, position and state (together) iff the new
-    [(depth, pos)] is strictly smaller. Keeping the minimal discovery
-    position makes provenance chains, violation choice and early-stop
-    accounting coincide with sequential BFS regardless of worker count;
-    replacing state and provenance together keeps the stored state the one
-    the stored chain replays to (under symmetry reduction two distinct
-    concrete states can share a fingerprint). [pos = (p, j)] must satisfy
-    [0 <= j < 2{^31}]; depth must be [< 2{^20}]. *)
+  pos:int * int -> state:'s -> merge_outcome
+(** Atomically insert a layer candidate ([Fresh]), or — if the fingerprint
+    is already present — replace the stored provenance, depth, position
+    and state (together) iff the new [(depth, pos)] is strictly smaller
+    ([Dup_replaced]), else leave it ([Dup_kept]). Keeping the minimal
+    discovery position makes provenance chains, violation choice and
+    early-stop accounting coincide with sequential BFS regardless of
+    worker count; replacing state and provenance together keeps the stored
+    state the one the stored chain replays to (under symmetry reduction
+    two distinct concrete states can share a fingerprint). [pos = (p, j)]
+    must satisfy [0 <= j < 2{^31}]; depth must be [< 2{^20}]. *)
 
 val add_seed : 's t -> Sandtable.Fingerprint.t -> prov -> depth:int -> bool
-(** Insert if absent (the existing entry always wins), with no stored
-    state and position zero — for roots and checkpoint-resume seeding,
-    whose positions are never consulted again. *)
+(** Insert if absent (the existing entry always wins, counting a dedup
+    hit otherwise), with no stored state and position zero — for roots,
+    checkpoint-resume seeding, and the work-stealing engine's first-wins
+    insertions, whose positions are never consulted again. *)
 
 val find_prov_opt : 's t -> Sandtable.Fingerprint.t -> prov option
 val find_prov : 's t -> Sandtable.Fingerprint.t -> prov
@@ -59,6 +69,11 @@ val find_prov : 's t -> Sandtable.Fingerprint.t -> prov
 
 val find_pos : 's t -> Sandtable.Fingerprint.t -> int * int
 (** The stored discovery position. Raises [Not_found] when absent. *)
+
+val find_depth_opt : 's t -> Sandtable.Fingerprint.t -> int option
+(** The stored discovery depth; [None] when absent. Used to recover
+    per-state frontier depths when resuming into the work-stealing
+    engine. *)
 
 val take_state : 's t -> Sandtable.Fingerprint.t -> ((int * int) * 's) option
 (** Return the entry's position and concrete state and clear the stored

@@ -1,0 +1,708 @@
+open Sandtable
+
+(* Barrier-free work-stealing exploration engine.
+
+   The layer-synchronous engine ([Par_explorer]) pays a full barrier per
+   BFS layer: every worker waits for the slowest one at every layer tail,
+   and the telemetry "expand/barrier" split shows that wait dominating at
+   higher worker counts. This engine removes the barrier entirely:
+
+   - The frontier lives in per-worker queues of fixed-size state batches.
+     A generated state is routed to the worker that owns its fingerprint
+     shard — [Fingerprint.shard_key], the same and only routing function
+     the visited set uses — so each worker touches a disjoint slice of the
+     shard space and dedup locality follows for free.
+   - A worker drains its own queue FIFO; when empty it steals a whole
+     batch from the tail of another worker's queue (one mutex hold per
+     batch, never per state).
+   - Termination is a credit scheme over outstanding batches: a single
+     atomic counter is incremented before a batch becomes visible in any
+     queue and decremented only after the batch is fully expanded and its
+     child batches are enqueued (children before parent, so the counter
+     can only touch zero when no work exists anywhere). [outstanding = 0]
+     is therefore stable, and replaces the layer barrier as the engine's
+     quiescent signal.
+   - Checkpoints, telemetry samples and progress fire at periodic
+     "pulses": worker 0 raises a pause flag, the other workers park at
+     their next batch boundary (outboxes flushed — between batches every
+     routed state sits in some queue), and the paused world is a
+     consistent snapshot: visited set + queued states.
+
+   States are deduplicated with first-arrival-wins [Shard_set.add_seed] —
+   no (depth, pos) merge. Consequences, also spelled out in DESIGN.md:
+   each distinct state is expanded exactly once, so [distinct] and
+   [generated] totals at exhaustion are schedule- and worker-count-
+   invariant and equal to the strict engines'; discovery depths are upper
+   bounds on BFS depth and may vary run to run, so [max_depth], depth
+   histograms, counterexample depth and any [max_depth]-budgeted totals
+   are not invariant. Violation and deadlock verdicts are invariant on
+   exhaustive runs: every reachable state is visited and checked. Use
+   [--strict-bfs] ([Par_explorer]) for bit-for-bit sequential equivalence
+   and minimal-depth counterexamples. *)
+
+type worker_stat = Par_explorer.worker_stat = {
+  w_expanded : int;
+  w_generated : int;
+  w_inserted : int;
+  w_busy : float;
+}
+
+type result = {
+  base : Explorer.result;
+  workers : int;
+  pulses : int;  (* quiescent pulses fired (the WS analogue of layers) *)
+  steals : int;
+  steal_failed : int;
+  worker_stats : worker_stat array;
+  shard_stats : Shard_set.stat array;
+}
+
+(* ---- per-worker batch queue ------------------------------------------- *)
+
+(* A mutex-guarded ring of batches. The owner pops from the head (FIFO —
+   keeps discovery roughly breadth-first, which keeps the duplicate rate
+   close to the strict engine's); a thief takes from the tail (the work
+   least likely to be hot in the owner's cache). Item counts are kept for
+   the queue-depth gauge. *)
+type 'a queue = {
+  qlock : Mutex.t;
+  mutable qbuf : 'a array array;
+  mutable qhead : int;
+  mutable qcount : int;  (* batches *)
+  mutable qitems : int;  (* states across all batches *)
+}
+
+let q_make () =
+  { qlock = Mutex.create ();
+    qbuf = Array.make 16 [||];
+    qhead = 0;
+    qcount = 0;
+    qitems = 0 }
+
+let q_locked q f =
+  Mutex.lock q.qlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.qlock) f
+
+let q_push q batch =
+  q_locked q (fun () ->
+      let cap = Array.length q.qbuf in
+      if q.qcount = cap then begin
+        let b = Array.make (2 * cap) [||] in
+        for i = 0 to q.qcount - 1 do
+          b.(i) <- q.qbuf.((q.qhead + i) mod cap)
+        done;
+        q.qbuf <- b;
+        q.qhead <- 0
+      end;
+      let cap = Array.length q.qbuf in
+      q.qbuf.((q.qhead + q.qcount) mod cap) <- batch;
+      q.qcount <- q.qcount + 1;
+      q.qitems <- q.qitems + Array.length batch)
+
+let q_take q ~back =
+  q_locked q (fun () ->
+      if q.qcount = 0 then None
+      else begin
+        let cap = Array.length q.qbuf in
+        let i =
+          if back then (q.qhead + q.qcount - 1) mod cap else q.qhead
+        in
+        let batch = q.qbuf.(i) in
+        q.qbuf.(i) <- [||];
+        if not back then q.qhead <- (q.qhead + 1) mod cap;
+        q.qcount <- q.qcount - 1;
+        q.qitems <- q.qitems - Array.length batch;
+        Some batch
+      end)
+
+let q_iter q f =
+  q_locked q (fun () ->
+      let cap = Array.length q.qbuf in
+      for i = 0 to q.qcount - 1 do
+        Array.iter f q.qbuf.((q.qhead + i) mod cap)
+      done)
+
+(* how long an idle or parked worker sleeps between polls; stdlib
+   [Condition] has no timed wait, and at this grain the poll is invisible
+   next to batch expansion times *)
+let poll_sleep = 0.0002
+let batch_size = 64
+
+module Run (S : Spec.S) = struct
+  let prov_in = function
+    | Explorer.Root i -> Shard_set.Proot i
+    | Explorer.Step { parent; event } -> Shard_set.Pstep (parent, event)
+
+  let prov_out = function
+    | Shard_set.Proot i -> Explorer.Root i
+    | Shard_set.Pstep (parent, event) -> Explorer.Step { parent; event }
+
+  (* Mirrors [Explorer.fingerprint_info] / [Par_explorer]. *)
+  let fingerprint_info ?probe (opts : Explorer.options)
+      (scenario : Scenario.t) state =
+    let b0 = if Probe.is_on probe then Fingerprint.marshalled_bytes () else 0 in
+    let fp, sym =
+      if opts.symmetry && S.permutable then begin
+        Probe.span_begin probe "symmetry-normalize";
+        let r =
+          Symmetry.canonical_fp_info ?probe ~who:S.name ~permute:S.permute
+            ~nodes:scenario.Scenario.nodes state
+        in
+        Probe.span_end probe "symmetry-normalize";
+        r
+      end
+      else begin
+        Probe.span_begin probe "fingerprint";
+        let fp = Fingerprint.of_state ~who:S.name state in
+        Probe.span_end probe "fingerprint";
+        (fp, false)
+      end
+    in
+    if Probe.is_on probe then
+      Probe.count probe "fp.bytes" (Fingerprint.marshalled_bytes () - b0);
+    (fp, sym)
+
+  let final_state scenario init_index events =
+    let s0 = List.nth (S.init scenario) init_index in
+    List.fold_left
+      (fun state event ->
+        match
+          List.find_map
+            (fun (e, s') -> if Trace.equal_event e event then Some s' else None)
+            (S.next scenario state)
+        with
+        | Some s' -> s'
+        | None -> invalid_arg "Ws_explorer: unreplayable provenance chain")
+      s0 events
+
+  (* Checkpoint-frontier recovery: the same memoized provenance replay as
+     the other engines, against the sharded store. *)
+  let rebuild_frontier visited scenario fps =
+    let memo : S.state Fingerprint.Tbl.t = Fingerprint.Tbl.create 1024 in
+    let inits = lazy (S.init scenario) in
+    let prov_of fp =
+      match Shard_set.find_prov_opt visited fp with
+      | Some p -> p
+      | None ->
+        invalid_arg
+          "Ws_explorer: checkpoint frontier references a fingerprint \
+           missing from its visited set (corrupted checkpoint?)"
+    in
+    let state_of fp0 =
+      let rec collect fp pending =
+        match Fingerprint.Tbl.find_opt memo fp with
+        | Some s -> s, pending
+        | None -> (
+          match prov_of fp with
+          | Shard_set.Proot i ->
+            let s = List.nth (Lazy.force inits) i in
+            Fingerprint.Tbl.replace memo fp s;
+            s, pending
+          | Shard_set.Pstep (parent, event) ->
+            collect parent ((fp, event) :: pending))
+      in
+      let base, pending = collect fp0 [] in
+      List.fold_left
+        (fun state (fp, event) ->
+          match
+            List.find_map
+              (fun (e, s') ->
+                if Trace.equal_event e event then Some s' else None)
+              (S.next scenario state)
+          with
+          | Some s' ->
+            Fingerprint.Tbl.replace memo fp s';
+            s'
+          | None ->
+            invalid_arg
+              "Ws_explorer: unreplayable checkpoint provenance chain \
+               (spec changed since the checkpoint was written?)")
+        base pending
+    in
+    List.map state_of fps
+
+  let check ?(pulse_every = 1.0) ?resume pool scenario
+      (opts : Explorer.options) =
+    let started = Unix.gettimeofday () in
+    let elapsed () = Unix.gettimeofday () -. started in
+    let workers = Pool.size pool in
+    let probe = opts.probe in
+    let resume =
+      Option.map
+        (fun (snap : Explorer.snapshot) ->
+          if snap.snap_kernel = Fingerprint.kernel_id then snap
+          else Explorer.migrate_snapshot (module S) scenario opts snap)
+        resume
+    in
+    let visited : S.state Shard_set.t = Shard_set.create ~shards:64 () in
+    let deadline = Option.map (fun b -> started +. b) opts.time_budget in
+    let selected_invariants =
+      match opts.only_invariants with
+      | None -> S.invariants
+      | Some names ->
+        List.filter (fun (name, _) -> List.mem name names) S.invariants
+    in
+    let first_broken state =
+      List.find_map
+        (fun (name, holds) ->
+          if holds scenario state then None else Some name)
+        selected_invariants
+    in
+    let trace_of fp =
+      let rec back fp acc =
+        match Shard_set.find_prov visited fp with
+        | Shard_set.Proot i -> i, acc
+        | Shard_set.Pstep (parent, event) -> back parent (event :: acc)
+      in
+      back fp []
+    in
+    let violation_of fp invariant depth : Explorer.violation =
+      let init_index, events = trace_of fp in
+      let state = final_state scenario init_index events in
+      { invariant; events; depth;
+        state_repr = Fmt.str "%a" S.pp_state state }
+    in
+    (* shard_key gives 8 uniform bits; scale them onto [0, workers) *)
+    let route_mask = 255 in
+    let dest fp =
+      Fingerprint.shard_key fp ~mask:route_mask * workers / (route_mask + 1)
+    in
+    let queues :
+        (S.state * Fingerprint.t * int) queue array =
+      Array.init workers (fun _ -> q_make ())
+    in
+    let outstanding = Atomic.make 0 in
+    let enqueue d batch =
+      (* increment before the batch is visible: the counter over-approximates
+         live work, so 0 is a stable "nothing anywhere" signal *)
+      Atomic.incr outstanding;
+      q_push queues.(d) batch
+    in
+    (* engine-wide counters; [distinct] is atomic because the max_states
+       budget reads it cross-worker, the rest are disjointly indexed *)
+    let distinct = Atomic.make 0 in
+    let st_expanded = Array.make workers 0 in
+    let st_generated = Array.make workers 0 in
+    let st_inserted = Array.make workers 0 in
+    let st_busy = Array.make workers 0. in
+    let st_maxdepth = Array.make workers 0 in
+    let gen_base = ref 0 in
+    let maxdepth_base = ref 0 in
+    let depth_pruned = Atomic.make false in
+    let stop = Atomic.make false in
+    let outcome_lock = Mutex.create () in
+    let outcome_slot = ref None in
+    let failure = ref None in
+    (* first stop wins; provenance chains never mutate (first-arrival-wins
+       insertion), so a violation trace built here is stable even while
+       other workers keep inserting *)
+    let stop_with o =
+      Mutex.lock outcome_lock;
+      if !outcome_slot = None then outcome_slot := Some o;
+      Mutex.unlock outcome_lock;
+      Atomic.set stop true
+    in
+    let pause = Atomic.make false in
+    let parked = Atomic.make 0 in
+    let running = Atomic.make workers in
+    let pulses = ref 0 in
+    let steals = Atomic.make 0 in
+    let steals_failed = Atomic.make 0 in
+    (* ---- seeding ------------------------------------------------------ *)
+    let seed_items = ref [] in
+    (match resume with
+    | None ->
+      List.iteri
+        (fun i s ->
+          if !outcome_slot = None then begin
+            let fp, sym = fingerprint_info ?probe opts scenario s in
+            let inserted =
+              Shard_set.add_seed visited fp (Shard_set.Proot i) ~depth:0
+            in
+            if Probe.is_on probe then
+              Probe.edge probe ~depth:0 ~event:None ~dup:(not inserted) ~sym;
+            if inserted then begin
+              Atomic.incr distinct;
+              match first_broken s with
+              | Some inv when opts.stop_on_violation ->
+                stop_with (Explorer.Violation (violation_of fp inv 0))
+              | Some _ | None ->
+                if S.constraint_ok scenario s then
+                  seed_items := (s, fp, 0) :: !seed_items
+            end
+          end)
+        (S.init scenario)
+    | Some snap ->
+      snap.Explorer.snap_visited (fun fp prov d ->
+          ignore (Shard_set.add_seed visited fp (prov_in prov) ~depth:d));
+      Atomic.set distinct snap.Explorer.snap_distinct;
+      gen_base := snap.Explorer.snap_generated;
+      maxdepth_base := snap.Explorer.snap_max_depth;
+      let states =
+        rebuild_frontier visited scenario snap.Explorer.snap_frontier
+      in
+      (* a layered snapshot's frontier sits entirely at snap_depth; an
+         unordered one's per-state depths are recovered from the seeded
+         visited set *)
+      let depth_of fp =
+        match snap.Explorer.snap_mode with
+        | Explorer.Layered -> snap.Explorer.snap_depth
+        | Explorer.Unordered -> (
+          match Shard_set.find_depth_opt visited fp with
+          | Some d -> d
+          | None -> snap.Explorer.snap_depth)
+      in
+      seed_items :=
+        List.rev
+          (List.map2
+             (fun fp s -> (s, fp, depth_of fp))
+             snap.Explorer.snap_frontier states));
+    (* batch the seeds by destination worker *)
+    let per_dest = Array.make workers [] in
+    let per_cnt = Array.make workers 0 in
+    List.iter
+      (fun ((_, fp, _) as it) ->
+        let d = dest fp in
+        per_dest.(d) <- it :: per_dest.(d);
+        per_cnt.(d) <- per_cnt.(d) + 1;
+        if per_cnt.(d) >= batch_size then begin
+          enqueue d (Array.of_list (List.rev per_dest.(d)));
+          per_dest.(d) <- [];
+          per_cnt.(d) <- 0
+        end)
+      (List.rev !seed_items);
+    Array.iteri
+      (fun d items ->
+        if items <> [] then enqueue d (Array.of_list (List.rev items)))
+      per_dest;
+    (* a paused world is quiescent: every worker is between batches with
+       flushed outboxes, so the frontier is exactly the queued states *)
+    let snapshot_now ~gen_now ~maxd () =
+      let fps = ref [] in
+      let mind = ref max_int in
+      Array.iter
+        (fun q ->
+          q_iter q (fun (_, fp, d) ->
+              fps := fp :: !fps;
+              if d < !mind then mind := d))
+        queues;
+      { Explorer.snap_depth = (if !mind = max_int then maxd else !mind);
+        snap_frontier = List.rev !fps;
+        snap_distinct = Atomic.get distinct;
+        snap_generated = gen_now;
+        snap_max_depth = maxd;
+        snap_kernel = Fingerprint.kernel_id;
+        snap_mode = Explorer.Unordered;
+        snap_visited =
+          (fun k ->
+            Shard_set.iter visited (fun fp prov d -> k fp (prov_out prov) d)) }
+    in
+    let sum a = Array.fold_left ( + ) 0 a in
+    let cur_generated () = !gen_base + sum st_generated in
+    let cur_maxdepth () = Array.fold_left max !maxdepth_base st_maxdepth in
+    (* ---- worker loop --------------------------------------------------- *)
+    let worker_loop w =
+      let wp = Probe.worker probe w in
+      let obuf = Array.make workers [] in
+      let ocnt = Array.make workers 0 in
+      let flush d =
+        if ocnt.(d) > 0 then begin
+          let batch = Array.of_list (List.rev obuf.(d)) in
+          obuf.(d) <- [];
+          ocnt.(d) <- 0;
+          enqueue d batch
+        end
+      in
+      let route ((_, fp, _) as it) =
+        let d = dest fp in
+        obuf.(d) <- it :: obuf.(d);
+        ocnt.(d) <- ocnt.(d) + 1;
+        if ocnt.(d) >= batch_size then flush d
+      in
+      (* busy and idle time are coalesced into episode spans — one
+         "expand" span per contiguous run of batches and one "steal-wait"
+         span per idle episode — so trace files stay bounded and the
+         metrics timers still carry the exact totals *)
+      let busy_t0 = ref None in
+      let idle_t0 = ref None in
+      let end_busy () =
+        match !busy_t0 with
+        | None -> ()
+        | Some t0 ->
+          let t1 = Unix.gettimeofday () in
+          Probe.span_at wp "expand" ~t0 ~t1;
+          st_busy.(w) <- st_busy.(w) +. (t1 -. t0);
+          busy_t0 := None
+      in
+      let end_idle () =
+        match !idle_t0 with
+        | None -> ()
+        | Some t0 ->
+          Probe.span_at wp "steal-wait" ~t0 ~t1:(Unix.gettimeofday ());
+          idle_t0 := None
+      in
+      let tick = ref 0 in
+      let expand_one (state, fp, depth) =
+        match opts.max_depth with
+        | Some md when depth > md ->
+          (* the state was counted at insertion; depth labels here are
+             discovery depths (>= BFS depth), so depth-budgeted totals are
+             schedule-dependent — see DESIGN.md *)
+          Atomic.set depth_pruned true
+        | _ ->
+          st_expanded.(w) <- st_expanded.(w) + 1;
+          let succs = S.next scenario state in
+          if Probe.is_on wp && scenario.Scenario.faults <> None then
+            List.iter
+              (fun (event, _) ->
+                match Fault_plan.obs_kind event with
+                | Some name -> Probe.count wp name 1
+                | None -> ())
+              succs;
+          if succs = [] && opts.check_deadlock then begin
+            let _, events = trace_of fp in
+            stop_with (Explorer.Deadlock events)
+          end;
+          List.iter
+            (fun (event, state') ->
+              st_generated.(w) <- st_generated.(w) + 1;
+              let fp', sym = fingerprint_info ?probe:wp opts scenario state' in
+              if
+                Shard_set.add_seed visited fp'
+                  (Shard_set.Pstep (fp, event))
+                  ~depth:(depth + 1)
+              then begin
+                st_inserted.(w) <- st_inserted.(w) + 1;
+                Atomic.incr distinct;
+                if Probe.is_on wp then
+                  Probe.edge wp ~depth:(depth + 1) ~event:(Some event)
+                    ~dup:false ~sym;
+                if depth + 1 > st_maxdepth.(w) then
+                  st_maxdepth.(w) <- depth + 1;
+                if opts.stop_on_violation then begin
+                  Probe.span_begin wp "invariant";
+                  (match first_broken state' with
+                  | Some inv ->
+                    stop_with
+                      (Explorer.Violation (violation_of fp' inv (depth + 1)))
+                  | None -> ());
+                  Probe.span_end wp "invariant"
+                end;
+                if S.constraint_ok scenario state' then
+                  route (state', fp', depth + 1);
+                match opts.max_states with
+                | Some m when Atomic.get distinct >= m ->
+                  stop_with Explorer.Budget_spent
+                | _ -> ()
+              end
+              else begin
+                Probe.count wp "fp.dup" 1;
+                if Probe.is_on wp then
+                  Probe.edge wp ~depth:(depth + 1) ~event:(Some event)
+                    ~dup:true ~sym
+              end)
+            succs;
+          incr tick;
+          if !tick land 15 = 0 then
+            match deadline with
+            | Some t when Unix.gettimeofday () > t ->
+              stop_with Explorer.Budget_spent
+            | _ -> ()
+      in
+      let steal () =
+        let rec go k =
+          if k >= workers then None
+          else
+            let v = (w + k) mod workers in
+            match q_take queues.(v) ~back:true with
+            | Some b ->
+              Probe.count wp "steal.count" 1;
+              Atomic.incr steals;
+              Some b
+            | None -> go (k + 1)
+        in
+        go 1
+      in
+      (* worker 0 initiates the quiescent pulse: pause the world at batch
+         boundaries, then sample/checkpoint/report from a stopped state *)
+      let last_pulse = ref started in
+      let maybe_pulse () =
+        let t = Unix.gettimeofday () in
+        if t -. !last_pulse >= pulse_every && not (Atomic.get stop) then begin
+          end_busy ();
+          Atomic.set pause true;
+          while
+            Atomic.get parked < Atomic.get running - 1
+            && not (Atomic.get stop)
+          do
+            Unix.sleepf poll_sleep
+          done;
+          if not (Atomic.get stop) then begin
+            incr pulses;
+            let frontier = Array.fold_left (fun n q -> n + q.qitems) 0 queues in
+            let gen_now = cur_generated () in
+            let maxd = cur_maxdepth () in
+            if Probe.is_on probe then begin
+              for v = 0 to workers - 1 do
+                Probe.gauge (Probe.worker probe v) "queue.depth"
+                  (float_of_int queues.(v).qitems)
+              done;
+              Probe.gauge probe "visited.entries"
+                (float_of_int (Shard_set.length visited));
+              Probe.gauge probe "visited.capacity"
+                (float_of_int (Shard_set.capacity visited));
+              Probe.gauge probe "visited.store_bytes"
+                (float_of_int (Shard_set.store_bytes visited))
+            end;
+            Probe.layer probe ~depth:maxd ~distinct:(Atomic.get distinct)
+              ~generated:gen_now ~frontier ~elapsed:(elapsed ());
+            if opts.progress_every > 0 then
+              Option.iter
+                (fun f ->
+                  f { Explorer.distinct = Atomic.get distinct;
+                      generated = gen_now; depth = maxd;
+                      frontier_len = frontier; elapsed = elapsed () })
+                opts.progress;
+            if frontier > 0 then
+              Option.iter
+                (fun hook ->
+                  hook !pulses (lazy (snapshot_now ~gen_now ~maxd ())))
+                opts.on_layer
+          end;
+          last_pulse := Unix.gettimeofday ();
+          Atomic.set pause false
+        end
+      in
+      let continue = ref true in
+      while !continue do
+        if Atomic.get stop then continue := false
+        else if Atomic.get pause && w <> 0 then begin
+          end_busy ();
+          end_idle ();
+          Atomic.incr parked;
+          while Atomic.get pause && not (Atomic.get stop) do
+            Unix.sleepf poll_sleep
+          done;
+          Atomic.decr parked
+        end
+        else begin
+          if w = 0 then maybe_pulse ();
+          let batch =
+            match q_take queues.(w) ~back:false with
+            | Some b -> Some b
+            | None -> steal ()
+          in
+          match batch with
+          | Some batch ->
+            end_idle ();
+            if !busy_t0 = None then busy_t0 := Some (Unix.gettimeofday ());
+            let exp0 = st_expanded.(w) in
+            Array.iter
+              (fun it -> if not (Atomic.get stop) then expand_one it)
+              batch;
+            Probe.count wp "expand.states" (st_expanded.(w) - exp0);
+            (* flush every outbox before the decrement: between batches
+               all routed states live in queues, and the children were
+               counted into [outstanding] before the parent batch retires *)
+            for d = 0 to workers - 1 do
+              flush d
+            done;
+            Atomic.decr outstanding
+          | None ->
+            if Atomic.get outstanding = 0 then continue := false
+            else begin
+              end_busy ();
+              if !idle_t0 = None then idle_t0 := Some (Unix.gettimeofday ());
+              Probe.count wp "steal.failed" 1;
+              Atomic.incr steals_failed;
+              Unix.sleepf poll_sleep
+            end
+        end
+      done;
+      end_busy ();
+      end_idle ()
+    in
+    let run_worker w =
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr running)
+        (fun () ->
+          try worker_loop w
+          with e ->
+            Mutex.lock outcome_lock;
+            if !failure = None then failure := Some e;
+            Mutex.unlock outcome_lock;
+            Atomic.set stop true)
+    in
+    if !outcome_slot = None && Atomic.get outstanding > 0 then
+      Pool.run pool run_worker;
+    (match !failure with Some e -> raise e | None -> ());
+    let outcome =
+      match !outcome_slot with
+      | Some o -> o
+      | None ->
+        if Atomic.get depth_pruned then Explorer.Budget_spent
+        else Explorer.Exhausted
+    in
+    if Probe.is_on probe then begin
+      let n = Shard_set.length visited in
+      let bytes = Shard_set.store_bytes visited in
+      Probe.gauge probe "visited.entries" (float_of_int n);
+      Probe.gauge probe "visited.capacity"
+        (float_of_int (Shard_set.capacity visited));
+      Probe.gauge probe "visited.store_bytes" (float_of_int bytes);
+      if n > 0 then
+        Probe.gauge probe "visited.bytes_per_state"
+          (float_of_int bytes /. float_of_int n);
+      Probe.gauge probe "visited.probe_steps"
+        (float_of_int (Shard_set.probe_steps visited))
+    end;
+    let worker_stats =
+      Array.init workers (fun w ->
+          { w_expanded = st_expanded.(w);
+            w_generated = st_generated.(w);
+            w_inserted = st_inserted.(w);
+            w_busy = st_busy.(w) })
+    in
+    { base =
+        { Explorer.outcome;
+          distinct = Atomic.get distinct;
+          generated = cur_generated ();
+          max_depth = cur_maxdepth ();
+          duration = elapsed () };
+      workers;
+      pulses = !pulses;
+      steals = Atomic.get steals;
+      steal_failed = Atomic.get steals_failed;
+      worker_stats;
+      shard_stats = Shard_set.stats visited }
+end
+
+let check ?workers ?pool ?pulse_every ?resume (module S : Spec.S) scenario
+    opts =
+  let module R = Run (S) in
+  match pool with
+  | Some p -> R.check ?pulse_every ?resume p scenario opts
+  | None ->
+    let w =
+      match workers with
+      | Some w -> max 1 w
+      | None -> Domain.recommended_domain_count ()
+    in
+    Pool.with_pool w (fun p -> R.check ?pulse_every ?resume p scenario opts)
+
+let states_per_sec = Par_explorer.states_per_sec
+
+let pp_worker_stats ppf r =
+  Array.iteri
+    (fun w ws ->
+      Fmt.pf ppf "worker %d: expanded=%d generated=%d inserted=%d busy=%.2fs \
+                  (%.0f states/s)@."
+        w ws.w_expanded ws.w_generated ws.w_inserted ws.w_busy
+        (states_per_sec ws))
+    r.worker_stats
+
+let pp_result ppf r =
+  Fmt.pf ppf "%a@.%d workers (work-stealing), %d pulses, %d steals \
+              (%d failed attempts)@.%a"
+    Explorer.pp_result r.base r.workers r.pulses r.steals r.steal_failed
+    pp_worker_stats r

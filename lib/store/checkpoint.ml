@@ -97,7 +97,14 @@ let save ?probe ~dir ~identity (snap : Explorer.snapshot) =
              snap.snap_distinct !written);
       (* trailing fingerprint-kernel marker; files written before the
          marker existed simply end here and load as kernel 0 (MD5) *)
-      Binio.uint b snap.snap_kernel);
+      Binio.uint b snap.snap_kernel;
+      (* trailing frontier-mode marker; files written before the
+         work-stealing engine existed end after the kernel and load as
+         Layered (the only mode that existed then) *)
+      Binio.uint b
+        (match snap.snap_mode with
+        | Explorer.Layered -> 0
+        | Explorer.Unordered -> 1));
   let bytes = (Unix.stat path).Unix.st_size in
   Probe.span_end probe "checkpoint";
   Probe.count probe "checkpoint.saves" 1;
@@ -155,6 +162,18 @@ let load ~dir ~identity =
   let snap_kernel =
     if Binio.remaining src = 0 then 0 else Binio.read_uint src
   in
+  (* pre-work-stealing files end after the kernel marker: Layered *)
+  let snap_mode =
+    if Binio.remaining src = 0 then Explorer.Layered
+    else
+      match Binio.read_uint src with
+      | 0 -> Explorer.Layered
+      | 1 -> Explorer.Unordered
+      | tag ->
+        raise
+          (Binio.Corrupt
+             (Printf.sprintf "%s: unknown frontier mode tag %d" path tag))
+  in
   if Binio.remaining src <> 0 then
     raise
       (Binio.Corrupt
@@ -166,6 +185,7 @@ let load ~dir ~identity =
     snap_generated;
     snap_max_depth;
     snap_kernel;
+    snap_mode;
     snap_visited =
       (fun f -> Array.iter (fun (fp, prov, d) -> f fp prov d) visited) }
 

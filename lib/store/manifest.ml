@@ -30,6 +30,7 @@ type t = {
   m_created : string;
   m_engine : string;
   m_workers : int;
+  m_cores : int;
   m_flags : (string * string) list;
   m_status : status;
   m_outcome : string option;
@@ -46,7 +47,7 @@ type t = {
   m_profile : profile option;
 }
 
-let version = 5
+let version = 6
 let file = "manifest.json"
 
 let status_string = function
@@ -72,7 +73,7 @@ let now_utc () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let make ~system ~scenario ~identity ~engine ~workers ~flags =
+let make ~system ~scenario ~identity ~engine ~workers ?(cores = 0) ~flags () =
   { m_version = version;
     m_system = system;
     m_scenario = scenario;
@@ -80,6 +81,7 @@ let make ~system ~scenario ~identity ~engine ~workers ~flags =
     m_created = now_utc ();
     m_engine = engine;
     m_workers = workers;
+    m_cores = cores;
     m_flags = flags;
     m_status = Running;
     m_outcome = None;
@@ -106,6 +108,7 @@ let to_json t =
       ("created", Str t.m_created);
       ("engine", Str t.m_engine);
       ("workers", Num (float_of_int t.m_workers));
+      ("cores", Num (float_of_int t.m_cores));
       ( "flags",
         Obj (List.map (fun (k, v) -> (k, Sjson.Str v)) t.m_flags) );
       ("status", Str (status_string t.m_status));
@@ -170,6 +173,12 @@ let of_json j =
   let* m_created = field "created" Sjson.to_str in
   let* m_engine = field "engine" Sjson.to_str in
   let* m_workers = field "workers" Sjson.to_int in
+  (* absent before v6 — older manifests load with [m_cores = 0] (unknown) *)
+  let m_cores =
+    match Option.bind (Sjson.member "cores" j) Sjson.to_int with
+    | Some c -> c
+    | None -> 0
+  in
   let* m_status =
     let* s = field "status" Sjson.to_str in
     match status_of_string s with
@@ -250,6 +259,7 @@ let of_json j =
       m_created;
       m_engine;
       m_workers;
+      m_cores;
       m_flags;
       m_status;
       m_outcome = opt_str "outcome";

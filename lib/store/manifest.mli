@@ -39,13 +39,18 @@ type profile = {
     histograms live in the run directory's [profile.json]. *)
 
 type t = {
-  m_version : int;  (** manifest schema version, currently 5 *)
+  m_version : int;  (** manifest schema version, currently 6 *)
   m_system : string;
   m_scenario : string;
   m_identity : string;  (** identity digest ({!Checkpoint.digest_hex}) *)
   m_created : string;  (** UTC, ISO-8601 *)
-  m_engine : string;  (** ["seq"] or ["par"] *)
+  m_engine : string;  (** ["seq"], ["par"] or ["ws"] *)
   m_workers : int;
+  m_cores : int;
+      (** CPU cores available to the run (schema v6; [0] = unknown, the
+          value pre-v6 manifests load with). Scaling gates refuse to
+          compare runs whose [m_cores < m_workers] — oversubscribed
+          workers measure the scheduler, not the engine. *)
   m_flags : (string * string) list;  (** config knobs, e.g. bug flags *)
   m_status : status;
   m_outcome : string option;  (** e.g. ["violation: AgreeInv"] once done *)
@@ -74,8 +79,9 @@ val file : string
 
 val make :
   system:string -> scenario:string -> identity:string -> engine:string ->
-  workers:int -> flags:(string * string) list -> t
-(** A fresh [Running] manifest stamped with the current UTC time. *)
+  workers:int -> ?cores:int -> flags:(string * string) list -> unit -> t
+(** A fresh [Running] manifest stamped with the current UTC time.
+    [cores] defaults to [0] (unknown). *)
 
 val save : dir:string -> t -> unit
 (** Atomic write of [dir ^ "/" ^ file]; creates [dir] if missing. *)

@@ -576,7 +576,7 @@ let test_manifest_v4_roundtrip () =
   in
   let m =
     { (Store.Manifest.make ~system:"pysyncobj" ~scenario:"default"
-         ~identity:"abc" ~engine:"seq" ~workers:1 ~flags:[])
+         ~identity:"abc" ~engine:"seq" ~workers:1 ~flags:[] ())
       with Store.Manifest.m_faults = Some src }
   in
   Alcotest.(check int) "current schema" Store.Manifest.version

@@ -17,6 +17,7 @@ let () =
       Test_systems.suite;
       Test_conformance.suite;
       Test_par.suite;
+      Test_ws.suite;
       Test_store.suite;
       Test_obs.suite;
       Test_shrink.suite;

@@ -252,7 +252,7 @@ let test_manifest_v3_roundtrip () =
   with_tmpdir (fun dir ->
       let m =
         { (Store.Manifest.make ~system:"toy" ~scenario:"toy-2n"
-             ~identity:"cafebabe" ~engine:"par" ~workers:4 ~flags:[])
+             ~identity:"cafebabe" ~engine:"par" ~workers:4 ~flags:[] ())
           with
           Store.Manifest.m_status = Store.Manifest.Done;
           m_metrics =

@@ -302,15 +302,24 @@ let test_shard_set_merge_keeps_min () =
   in
   Alcotest.(check bool) "first insert" true
     (Par.Shard_set.merge set fp ~prov:(step 9) ~depth:2 ~pos:(1, 0)
-       ~state:"late");
-  (* same depth, smaller pos: replaces prov, pos and state together *)
-  Alcotest.(check bool) "second insert dedups" false
-    (Par.Shard_set.merge set fp ~prov:(step 3) ~depth:2 ~pos:(0, 1)
-       ~state:"early");
+       ~state:"late"
+     = Par.Shard_set.Fresh);
+  (* same depth, smaller pos: replaces prov, pos and state together and
+     names the displaced edge so the profiler can re-attribute it *)
+  (match
+     Par.Shard_set.merge set fp ~prov:(step 3) ~depth:2 ~pos:(0, 1)
+       ~state:"early"
+   with
+  | Par.Shard_set.Dup_replaced
+      { old_event = Some (Trace.Timeout { node; _ }); old_depth } ->
+    Alcotest.(check int) "displaced event" 9 node;
+    Alcotest.(check int) "displaced depth" 2 old_depth
+  | _ -> Alcotest.fail "expected Dup_replaced naming the displaced edge");
   (* larger pos: existing minimal entry is retained *)
-  Alcotest.(check bool) "larger pos ignored" false
+  Alcotest.(check bool) "larger pos ignored" true
     (Par.Shard_set.merge set fp ~prov:(step 7) ~depth:2 ~pos:(0, 2)
-       ~state:"later");
+       ~state:"later"
+     = Par.Shard_set.Dup_kept);
   (match Par.Shard_set.find_prov set fp with
   | Par.Shard_set.Pstep (p, Trace.Timeout { node; _ }) ->
     Alcotest.(check bool) "parent kept" true (Fingerprint.equal p parent);
